@@ -1,0 +1,49 @@
+"""Fig. 3: relative performance and cost-effectiveness, MT-WND, batch 32/128.
+
+Paper shape: at batch 32 all instances perform comparably; at batch 128 the
+GPU (g4dn) clearly dominates performance yet is the *least* cost-effective,
+while the memory-optimized r5/r5n are the most cost-effective.
+"""
+
+from conftest import once, register_figure
+
+from repro.analysis.reporting import ascii_bar_chart
+from repro.models.zoo import get_model
+
+FAMILIES = ("r5n", "r5", "m5n", "t3", "c5", "g4dn")
+
+
+def _series(model, batch):
+    perf = {f: 1.0 / float(model.latency_ms(f, batch)) for f in FAMILIES}
+    ce = {f: model.cost_effectiveness(f, batch) for f in FAMILIES}
+    pmax, cmax = max(perf.values()), max(ce.values())
+    return (
+        {f: v / pmax for f, v in perf.items()},
+        {f: v / cmax for f, v in ce.items()},
+    )
+
+
+def test_fig03_performance_and_cost_effectiveness(benchmark):
+    model = get_model("MT-WND")
+    (p32, c32), (p128, c128) = once(
+        benchmark, lambda: (_series(model, 32), _series(model, 128))
+    )
+    chunks = []
+    for title, series in [
+        ("(a) performance, batch 32", p32),
+        ("(a) performance, batch 128", p128),
+        ("(b) cost-effectiveness, batch 32", c32),
+        ("(b) cost-effectiveness, batch 128", c128),
+    ]:
+        chunks.append(
+            ascii_bar_chart(
+                list(series), list(series.values()), title=f"Fig. 3 {title}", width=30
+            )
+        )
+    register_figure("fig03_tradeoff", "\n\n".join(chunks))
+
+    # Paper facts.
+    assert max(p128, key=p128.get) == "g4dn"
+    assert min(c128, key=c128.get) == "g4dn"
+    assert max(c128, key=c128.get) == "r5"
+    assert min(p32.values()) >= 0.45  # batch 32: all comparable

@@ -1,0 +1,60 @@
+"""Fig. 8: pool-cardinality sweep — benefits saturate at three types.
+
+Paper shape: the number of heterogeneous configurations beating the best
+homogeneous one, and the top cost saving, both stop growing meaningfully
+beyond three unique instance types.
+
+One model per category is swept here (MT-WND for recommendation, CANDLE for
+general DNN/CNN): Sec. 5.2 of the paper establishes that the effective pool
+— and therefore this sweep — is common to all models of a category.
+"""
+
+from conftest import once, register_figure
+
+from repro.analysis.cardinality import cardinality_sweep
+from repro.analysis.experiments import ExperimentSetting
+from repro.analysis.reporting import series_table
+
+MODELS = ("MT-WND", "CANDLE")
+SETTING = ExperimentSetting(n_queries=2500, seed=1)
+
+
+def test_fig08_cardinality_saturation(benchmark):
+    def run():
+        return {
+            name: cardinality_sweep(
+                name, max_types=5, setting=SETTING, bound_cap=7
+            )
+            for name in MODELS
+        }
+
+    data = once(benchmark, run)
+
+    chunks = []
+    for name, points in data.items():
+        chunks.append(
+            series_table(
+                "n types",
+                [p.n_types for p in points],
+                {
+                    "better configs": [p.n_better_configs for p in points],
+                    "top saving": [f"{p.best_saving_percent:.1f}%" for p in points],
+                    "simulated": [p.n_simulated for p in points],
+                },
+                title=f"Fig. 8 — {name}: heterogeneous pool cardinality sweep",
+            )
+        )
+    register_figure("fig08_cardinality", "\n\n".join(chunks))
+
+    for name, points in data.items():
+        by_k = {p.n_types: p for p in points}
+        # (a) the count of better-than-homogeneous configs grows up to 3 types
+        assert by_k[3].n_better_configs > by_k[1].n_better_configs
+        # (b) savings exist from 2 types on and saturate after 3:
+        assert by_k[3].best_saving_percent > 0.0
+        gain_after_3 = by_k[5].best_saving_percent - by_k[3].best_saving_percent
+        span = max(by_k[5].best_saving_percent, 1e-9)
+        assert gain_after_3 <= 0.5 * span, (
+            f"{name}: savings still growing strongly after 3 types "
+            f"({by_k[3].best_saving_percent:.1f}% -> {by_k[5].best_saving_percent:.1f}%)"
+        )

@@ -1,0 +1,47 @@
+"""Fig. 9: cost savings of the optimal heterogeneous configuration.
+
+Paper shape: every model saves (9-16% in the paper) over its optimal
+homogeneous configuration while meeting the p99 QoS target.
+"""
+
+from conftest import ALL_MODELS, once, register_figure
+
+from repro.analysis.reporting import ascii_bar_chart, ascii_table
+
+
+def test_fig09_cost_savings(benchmark, experiments):
+    def run():
+        rows = []
+        for name in ALL_MODELS:
+            exp = experiments(name)
+            best = exp.ground_truth()
+            rows.append(
+                (
+                    name,
+                    str(exp.homogeneous_optimum.pool),
+                    exp.homogeneous_cost,
+                    str(best.pool),
+                    best.cost_per_hour,
+                    exp.max_saving_percent(),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    table = ascii_table(
+        ["model", "homogeneous", "$/hr", "heterogeneous", "$/hr", "saving"],
+        [
+            (m, hp, f"{hc:.3f}", bp, f"{bc:.3f}", f"{s:.1f}%")
+            for m, hp, hc, bp, bc, s in rows
+        ],
+        title="Fig. 9 — optimal heterogeneous vs optimal homogeneous cost",
+    )
+    chart = ascii_bar_chart(
+        [r[0] for r in rows], [r[5] for r in rows], unit="%", width=30
+    )
+    register_figure("fig09_cost_savings", table + "\n\n" + chart)
+
+    savings = {r[0]: r[5] for r in rows}
+    # Paper shape: positive savings for every model, in a plausible band.
+    for name, s in savings.items():
+        assert 4.0 <= s <= 30.0, f"{name}: {s:.1f}%"

@@ -1,0 +1,60 @@
+"""Fig. 10: samples needed to reach cost-saving levels, per method.
+
+Paper shape: Ribbon reaches every saving level — and the maximum saving —
+with the fewest configuration samples; the competing strategies need
+several times more (an order of magnitude for CANDLE).
+"""
+
+from conftest import ALL_MODELS, once, register_figure
+
+from repro.analysis.experiments import mean_samples_to_saving, search_comparison
+from repro.analysis.reporting import series_table
+
+SEEDS = (0, 1, 2)
+BUDGET = 120
+
+
+def test_fig10_convergence(benchmark, experiments):
+    def run():
+        out = {}
+        for name in ALL_MODELS:
+            exp = experiments(name)
+            comparison = search_comparison(exp, seeds=SEEDS, max_samples=BUDGET)
+            out[name] = (exp, comparison)
+        return out
+
+    data = once(benchmark, run)
+
+    chunks = []
+    ribbon_wins = 0
+    for name, (exp, comparison) in data.items():
+        max_saving = exp.max_saving_percent()
+        levels = [max_saving * f for f in (0.25, 0.5, 0.75, 1.0)]
+        series = {}
+        for method, results in comparison.items():
+            series[method] = [
+                f"{mean_samples_to_saving(results, exp.homogeneous_cost, lvl, penalty_samples=BUDGET):.1f}"
+                for lvl in levels
+            ]
+        chunks.append(
+            series_table(
+                "saving level",
+                [f"{lvl:.1f}%" for lvl in levels],
+                series,
+                title=f"Fig. 10 — {name}: mean samples to reach saving (max {max_saving:.1f}%)",
+            )
+        )
+        at_max = {
+            method: mean_samples_to_saving(
+                results, exp.homogeneous_cost, max_saving, penalty_samples=BUDGET
+            )
+            for method, results in comparison.items()
+        }
+        if at_max["RIBBON"] <= min(v for k, v in at_max.items() if k != "RIBBON"):
+            ribbon_wins += 1
+
+    register_figure("fig10_convergence", "\n\n".join(chunks))
+
+    # Paper shape: Ribbon needs the fewest samples to the max saving on
+    # (at least almost) every model.
+    assert ribbon_wins >= len(ALL_MODELS) - 1

@@ -1,0 +1,84 @@
+"""Fig. 12: explored configurations on the 2-D MT-WND (g4dn, t3) example.
+
+Paper shape: Ribbon reaches the global optimum with the fewest evaluations
+(8 in the paper); Hill-Climb gets trapped at a local optimum and needs a
+restart (13); RSM evaluates its fixed design then walks from a corner (18).
+The bench renders each method's sampled map and compares sample counts.
+"""
+
+from conftest import BENCH_SETTING, once, register_figure
+
+from repro.baselines import HillClimb, ResponseSurface
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.objective import RibbonObjective
+from repro.core.optimizer import RibbonOptimizer
+from repro.core.search_space import SearchSpace
+from repro.models.zoo import get_model
+from repro.workload.trace import trace_for_model
+
+BOUNDS = (5, 12)
+
+
+def render_map(space, result, truth_counts):
+    """ASCII grid: '.' unexplored, 'o' explored, '*' optimum, 'S' start."""
+    explored = {r.pool.counts for r in result.history}
+    start = result.history[0].pool.counts if result.history else None
+    lines = [f"{result.method}: {result.n_samples} samples"]
+    for t3 in range(BOUNDS[1], -1, -1):
+        row = []
+        for g in range(BOUNDS[0] + 1):
+            c = (g, t3)
+            if c == truth_counts:
+                row.append("*")
+            elif c == start:
+                row.append("S")
+            elif c in explored:
+                row.append("o")
+            else:
+                row.append(".")
+        lines.append(f"t3={t3:2d} " + " ".join(row))
+    lines.append("      " + " ".join(f"{g}" for g in range(BOUNDS[0] + 1)) + "  (g4dn)")
+    return "\n".join(lines)
+
+
+def test_fig12_exploration_map(benchmark):
+    model = get_model("MT-WND")
+    trace = trace_for_model(
+        model, n_queries=BENCH_SETTING.n_queries, seed=BENCH_SETTING.seed
+    )
+    space = SearchSpace(("g4dn", "t3"), BOUNDS)
+    objective = RibbonObjective(space)
+    evaluator = ConfigurationEvaluator(model, trace, objective)
+
+    from repro.baselines.exhaustive import find_optimal_configuration
+
+    truth = find_optimal_configuration(evaluator)
+    start = space.pool((5, 5))  # the paper's light-green triangle
+
+    def run():
+        out = {}
+        for strat in (
+            RibbonOptimizer(max_samples=40, seed=0),
+            HillClimb(max_samples=80, seed=0),
+            ResponseSurface(max_samples=80, seed=0),
+        ):
+            out[strat.name] = strat.search(evaluator, start=start)
+        return out
+
+    results = once(benchmark, run)
+
+    maps = [render_map(space, res, truth.pool.counts) for res in results.values()]
+    header = (
+        f"Fig. 12 — MT-WND 2-D example; optimum {truth.pool} "
+        f"(${truth.cost_per_hour:.3f}/hr), start (5,5)\n"
+    )
+    register_figure("fig12_exploration_map", header + "\n\n".join(maps))
+
+    to_opt = {
+        name: res.samples_to_cost(truth.cost_per_hour)
+        for name, res in results.items()
+    }
+    # Every method should find the optimum on this small space, and Ribbon
+    # should need the fewest samples (paper: 8 vs 13 vs 18).
+    assert all(v is not None for v in to_opt.values()), to_opt
+    assert to_opt["RIBBON"] <= min(v for k, v in to_opt.items() if k != "RIBBON")

@@ -1,0 +1,45 @@
+"""Fig. 15: relaxing the QoS to the p98 tail increases savings.
+
+Paper shape: with the QoS requirement at the 98th instead of the 99th
+percentile, the diverse pool gets more freedom to use cheap low-performance
+instances, so savings increase for every model (e.g. CANDLE's p98 optimum
+is 17% cheaper than its p99 optimum).
+"""
+
+import dataclasses
+
+from conftest import ALL_MODELS, BENCH_SETTING, once, register_figure
+
+from repro.analysis.experiments import make_experiment
+from repro.analysis.reporting import series_table
+
+
+def test_fig15_relaxed_qos(benchmark, experiments):
+    p98_setting = dataclasses.replace(BENCH_SETTING, qos_rate_target=0.98)
+
+    def run():
+        out = {}
+        for name in ALL_MODELS:
+            exp99 = experiments(name)
+            exp98 = make_experiment(name, p98_setting)
+            out[name] = (exp99.max_saving_percent(), exp98.max_saving_percent())
+        return out
+
+    data = once(benchmark, run)
+    register_figure(
+        "fig15_relaxed_qos",
+        series_table(
+            "model",
+            list(ALL_MODELS),
+            {
+                "p99 saving": [f"{data[m][0]:.1f}%" for m in ALL_MODELS],
+                "p98 saving": [f"{data[m][1]:.1f}%" for m in ALL_MODELS],
+            },
+            title="Fig. 15 — cost savings at p99 vs relaxed p98 QoS target",
+        ),
+    )
+
+    # Paper shape: relaxation can only help, and helps overall.
+    for name, (p99, p98) in data.items():
+        assert p98 >= p99 - 1.0, f"{name}: p98 {p98:.1f}% < p99 {p99:.1f}%"
+    assert sum(p98 for _, p98 in data.values()) > sum(p99 for p99, _ in data.values())

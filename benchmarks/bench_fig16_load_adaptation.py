@@ -1,0 +1,105 @@
+"""Fig. 16: response to a 1.5x load increase.
+
+Paper shape: after the load change the previous optimum saturates (the
+monitoring detects it), Ribbon re-converges to a new optimum roughly 1.5x
+more expensive, and — thanks to the set-S estimation and prune transfer —
+the re-convergence takes well under the original exploration time (<60% in
+the paper).
+"""
+
+from conftest import BENCH_SETTING, once, register_figure
+
+from repro.analysis.experiments import find_homogeneous_optimum
+from repro.analysis.reporting import series_table
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.objective import RibbonObjective
+from repro.core.optimizer import RibbonOptimizer
+from repro.core.scaling import LoadAdaptiveRibbon
+from repro.core.search_space import estimate_instance_bounds
+from repro.models.zoo import get_model
+from repro.workload.trace import trace_for_model
+
+MODELS = ("CANDLE", "ResNet50", "VGG19", "MT-WND", "DIEN")
+LOAD_FACTOR = 1.5
+
+
+def run_model(name: str):
+    model = get_model(name)
+    trace_lo = trace_for_model(
+        model, n_queries=BENCH_SETTING.n_queries, seed=BENCH_SETTING.seed
+    )
+    trace_hi = trace_for_model(
+        model,
+        n_queries=BENCH_SETTING.n_queries,
+        seed=BENCH_SETTING.seed,
+        load_factor=LOAD_FACTOR,
+    )
+    # One space sized for the heavier load serves both phases.
+    space = estimate_instance_bounds(
+        model, trace_hi, model.diverse_pool, catalog=model.catalog
+    )
+    objective = RibbonObjective(space)
+    ev_lo = ConfigurationEvaluator(model, trace_lo, objective)
+    ev_hi = ConfigurationEvaluator(model, trace_hi, objective)
+    adaptive = LoadAdaptiveRibbon(lambda: RibbonOptimizer(max_samples=45, seed=0))
+    outcome = adaptive.run(ev_lo, ev_hi)
+
+    # The paper's comparison baseline: "forget about the previous
+    # exploration results and restart BO from scratch" on the new load.
+    cold = RibbonOptimizer(max_samples=45, seed=0).search(
+        ev_hi.fork(trace_hi)
+    )
+    return outcome, cold
+
+
+def test_fig16_load_adaptation(benchmark):
+    outcomes = once(benchmark, lambda: {name: run_model(name) for name in MODELS})
+
+    rows = {
+        "detected": [],
+        "cost after/before": [],
+        "warm samples": [],
+        "cold samples": [],
+        "warm/cold": [],
+        "deployed violation %": [],
+    }
+    warm_total, cold_total = 0, 0
+    for name in MODELS:
+        o, cold = outcomes[name]
+        warm_n = o.result_after.samples_to_best() or o.result_after.n_samples
+        cold_n = cold.samples_to_best() or cold.n_samples
+        warm_total += warm_n
+        cold_total += cold_n
+        rows["detected"].append("yes" if o.detected else "no")
+        rows["cost after/before"].append(f"{o.cost_ratio_after_vs_before:.2f}x")
+        rows["warm samples"].append(warm_n)
+        rows["cold samples"].append(cold_n)
+        rows["warm/cold"].append(f"{100 * warm_n / cold_n:.0f}%")
+        rows["deployed violation %"].append(
+            f"{100 * (1 - o.deployed_on_new_load.qos_rate):.1f}%"
+        )
+    register_figure(
+        "fig16_load_adaptation",
+        series_table(
+            "model",
+            list(MODELS),
+            rows,
+            title=(
+                f"Fig. 16 — adaptation to a {LOAD_FACTOR}x load increase "
+                "(warm = set-S estimation + prune transfer, "
+                "cold = BO restart from scratch)"
+            ),
+        ),
+    )
+
+    for name in MODELS:
+        o, cold = outcomes[name]
+        # The previous optimum fails under the new load and is detected.
+        assert o.detected, f"{name}: load change not detected"
+        # New optimum found, costing more than the old one.
+        assert o.result_after.best is not None
+        assert 1.0 < o.cost_ratio_after_vs_before < 3.0
+        # The warm start never finds a worse new optimum than cold restart.
+        assert o.result_after.best_cost <= cold.best_cost * 1.05 + 1e-9
+    # Paper shape: knowledge transfer cuts re-convergence time overall.
+    assert warm_total <= cold_total

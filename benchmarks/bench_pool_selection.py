@@ -1,0 +1,46 @@
+"""Sec. 3.3: the relaxed-QoS rule for assembling the diverse pool.
+
+Paper rule: relax the QoS target by ~30% and admit the most cost-effective
+instance types that still satisfy the relaxed target; the paper's worked
+example qualifies t3 for MT-WND at 26 ms.  (Table 3's exact membership is
+one of several valid pools — Sec. 5.2 reports other pools give similar
+savings; EXPERIMENTS.md discusses where our rule's output differs.)
+"""
+
+from conftest import once, register_figure
+
+from repro.analysis.reporting import ascii_table
+from repro.core.pools import satisfies_relaxed_qos, select_diverse_pool
+from repro.models.zoo import MODEL_ZOO
+
+
+def test_pool_selection_rule(benchmark):
+    def run():
+        rows = []
+        for name, model in MODEL_ZOO.items():
+            selected = select_diverse_pool(model, cardinality=3)
+            screened_out = [
+                f
+                for f in model.profiled_families()
+                if f != model.homogeneous_family
+                and not satisfies_relaxed_qos(model, f)
+            ]
+            rows.append((name, ", ".join(selected), ", ".join(screened_out)))
+        return rows
+
+    rows = once(benchmark, run)
+    register_figure(
+        "pool_selection",
+        ascii_table(
+            ["model", "selected pool (Sec. 3.3 rule)", "rejected by relaxed screen"],
+            rows,
+            title="Sec. 3.3 — relaxed-QoS diverse pool selection",
+        ),
+    )
+
+    for name, model in MODEL_ZOO.items():
+        selected = select_diverse_pool(model, cardinality=3)
+        assert selected[0] == model.homogeneous_family
+        assert len(selected) == 3
+    # The paper's explicit example: t3 qualifies for MT-WND at 26 ms.
+    assert satisfies_relaxed_qos(MODEL_ZOO["MT-WND"], "t3")

@@ -1,0 +1,57 @@
+"""Tables 1-3: the studied models, instances, and pool compositions."""
+
+from conftest import once, register_figure
+
+from repro.analysis.reporting import ascii_table
+from repro.cloud.catalog import DEFAULT_CATALOG, InstanceCatalog
+from repro.core.pools import TABLE3_POOLS
+from repro.models.zoo import MODEL_ZOO
+
+
+def test_table1_model_zoo(benchmark):
+    models = once(benchmark, lambda: list(MODEL_ZOO.values()))
+    text = ascii_table(
+        ["model", "category", "QoS (ms)", "arrival (QPS)", "max batch"],
+        [
+            (m.name, m.category, f"{m.qos_target_ms:g}", f"{m.arrival_rate_qps:g}", m.max_batch)
+            for m in models
+        ],
+        title="Table 1 — deep learning models",
+    )
+    register_figure("table1_models", text)
+    assert len(models) == 5
+
+
+def test_table2_instance_catalog(benchmark):
+    catalog: InstanceCatalog = once(benchmark, lambda: DEFAULT_CATALOG)
+    text = ascii_table(
+        ["instance", "category", "vCPU", "mem GiB", "$ / hr", "GPU"],
+        [
+            (
+                s.name,
+                s.category,
+                s.vcpus,
+                f"{s.memory_gib:g}",
+                f"{s.price_per_hour:.4f}",
+                "yes" if s.gpu else "",
+            )
+            for s in (catalog[f] for f in catalog.families)
+        ],
+        title="Table 2 — studied AWS instances (us-east-1 2021 on-demand)",
+    )
+    register_figure("table2_instances", text)
+    assert len(catalog) == 8
+
+
+def test_table3_pool_composition(benchmark):
+    pools = once(benchmark, lambda: TABLE3_POOLS)
+    text = ascii_table(
+        ["model", "homogeneous pool", "diverse pool"],
+        [
+            (name, p["homogeneous"][0], ", ".join(p["diverse"]))
+            for name, p in pools.items()
+        ],
+        title="Table 3 — instance pools per model",
+    )
+    register_figure("table3_pools", text)
+    assert set(pools) == set(MODEL_ZOO)

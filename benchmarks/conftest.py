@@ -1,0 +1,74 @@
+"""Benchmark-suite plumbing.
+
+Every bench regenerates one paper table/figure.  The rendered ASCII output
+is registered here and (a) written to ``benchmarks/results/<name>.txt`` and
+(b) echoed in the pytest terminal summary, so a plain
+
+    pytest benchmarks/ --benchmark-only | tee bench_output.txt
+
+captures both the timing table and every regenerated figure.
+
+Heavy experiment contexts are cached per session: all figures for one model
+share one trace and one memoized evaluator, so repeated configuration
+evaluations across benches are free.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetting, make_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_FIGURES: dict[str, str] = {}
+
+ALL_MODELS = ("CANDLE", "ResNet50", "VGG19", "MT-WND", "DIEN")
+
+#: Default workload size for benches (matches the calibration contract).
+BENCH_SETTING = ExperimentSetting(n_queries=4000, seed=1)
+
+
+def register_figure(name: str, text: str) -> None:
+    """Record one regenerated figure for the terminal summary + artifacts."""
+    _FIGURES[name] = text
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _FIGURES:
+        return
+    tr = terminalreporter
+    tr.section("regenerated paper tables & figures")
+    for name in sorted(_FIGURES):
+        tr.write_line("")
+        tr.write_line(f"==== {name} " + "=" * max(0, 66 - len(name)))
+        for line in _FIGURES[name].splitlines():
+            tr.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def experiments():
+    """Lazily built, session-cached experiment context per model."""
+    cache = {}
+
+    def get(model_name: str, **kwargs):
+        key = (model_name, tuple(sorted(kwargs.items())))
+        if key not in cache:
+            setting = kwargs.pop("setting", BENCH_SETTING)
+            cache[key] = make_experiment(model_name, setting, **kwargs)
+        return cache[key]
+
+    return get
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    The experiments are deterministic and heavy; statistical repetition
+    would multiply the suite runtime without adding information.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""Ribbon (SC'21) reproduction.
+
+A from-scratch implementation of *Ribbon: Cost-Effective and QoS-Aware Deep
+Learning Model Inference using a Diverse Pool of Cloud Computing Instances*
+(Li et al., SC 2021), including every substrate the paper depends on: the
+AWS instance catalog, analytic model latency profiles, a production-style
+workload generator, a discrete-event FCFS serving simulator, a
+Gaussian-process library, the BO-based Ribbon optimizer, and all competing
+baselines.
+
+Quickstart::
+
+    from repro import quick_search
+
+    result = quick_search("MT-WND")
+    print(result.summary())
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the harness
+that regenerates every table and figure of the paper's evaluation.
+"""
+
+from repro.cloud import DEFAULT_CATALOG, InstanceSpec, get_instance
+from repro.models import MODEL_ZOO, ModelProfile, get_model
+from repro.workload import QueryTrace, trace_for_model
+from repro.simulator import InferenceServingSimulator, PoolConfiguration
+from repro.core import (
+    ConfigurationEvaluator,
+    LoadAdaptiveRibbon,
+    RibbonObjective,
+    RibbonOptimizer,
+    SearchSpace,
+    estimate_instance_bounds,
+    select_diverse_pool,
+)
+from repro.core.result import SearchResult
+from repro.baselines import (
+    ExhaustiveSearch,
+    HillClimb,
+    RandomSearch,
+    ResponseSurface,
+    find_optimal_configuration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CATALOG",
+    "InstanceSpec",
+    "get_instance",
+    "MODEL_ZOO",
+    "ModelProfile",
+    "get_model",
+    "QueryTrace",
+    "trace_for_model",
+    "InferenceServingSimulator",
+    "PoolConfiguration",
+    "ConfigurationEvaluator",
+    "RibbonObjective",
+    "RibbonOptimizer",
+    "LoadAdaptiveRibbon",
+    "SearchSpace",
+    "estimate_instance_bounds",
+    "select_diverse_pool",
+    "SearchResult",
+    "RandomSearch",
+    "HillClimb",
+    "ResponseSurface",
+    "ExhaustiveSearch",
+    "find_optimal_configuration",
+    "quick_search",
+]
+
+
+def quick_search(
+    model_name: str,
+    *,
+    n_queries: int = 4000,
+    seed: int = 0,
+    max_samples: int = 40,
+) -> SearchResult:
+    """One-call Ribbon run on a Table 1 model with paper-default settings.
+
+    Builds the model's Table 3 diverse pool, estimates per-type bounds,
+    and runs the BO search; returns the :class:`SearchResult`.
+    """
+    model = get_model(model_name)
+    trace = trace_for_model(model, n_queries=n_queries, seed=seed)
+    space = estimate_instance_bounds(model, trace, model.diverse_pool)
+    objective = RibbonObjective(space)
+    evaluator = ConfigurationEvaluator(model, trace, objective)
+    optimizer = RibbonOptimizer(max_samples=max_samples, seed=seed)
+    return optimizer.search(evaluator)

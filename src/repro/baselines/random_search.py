@@ -1,0 +1,80 @@
+"""RANDOM baseline (Sec. 5.3).
+
+Samples uniformly from the configuration lattice, with the paper's two
+intelligence rules: a candidate is skipped without evaluation when
+
+* a previously evaluated configuration with component-wise *greater-or-
+  equal* counts failed the QoS (the candidate has strictly less capacity in
+  every dimension, so it must fail too), or
+* a previously evaluated configuration with component-wise *less-or-equal*
+  counts met the QoS (the candidate can only match that outcome at a higher
+  price, so it cannot become the new optimum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.strategy import SearchStrategy, _Budget
+from repro.simulator.pool import PoolConfiguration
+
+
+class RandomSearch(SearchStrategy):
+    """Dominance-aware random sampling."""
+
+    name = "RANDOM"
+
+    def __init__(self, max_samples: int = 100, seed: int = 0):
+        super().__init__(max_samples=max_samples, seed=seed)
+
+    def _run(
+        self,
+        evaluator: ConfigurationEvaluator,
+        budget: _Budget,
+        start: PoolConfiguration | None,
+    ) -> None:
+        space = evaluator.space
+        rng = np.random.default_rng(self.seed)
+        grid = space.grid()
+        order = rng.permutation(grid.shape[0])
+
+        violator_ceilings: list[np.ndarray] = []
+        satisfier_floors: list[np.ndarray] = []
+
+        def skip(vec: np.ndarray) -> bool:
+            if any(np.all(vec <= c) for c in violator_ceilings):
+                return True
+            if any(np.all(f <= vec) for f in satisfier_floors):
+                return True
+            return False
+
+        if start is not None and space.contains(start):
+            self._observe(budget, start, violator_ceilings, satisfier_floors)
+
+        for idx in order:
+            if budget.exhausted:
+                return
+            vec = grid[idx]
+            pool = space.pool(vec)
+            if budget.seen(pool) or skip(vec):
+                continue
+            self._observe(budget, pool, violator_ceilings, satisfier_floors)
+
+        budget.stopped = True  # exhausted the (non-skipped) space
+
+    @staticmethod
+    def _observe(
+        budget: _Budget,
+        pool: PoolConfiguration,
+        violator_ceilings: list[np.ndarray],
+        satisfier_floors: list[np.ndarray],
+    ) -> None:
+        rec = budget.evaluate(pool)
+        if rec is None:
+            return
+        vec = np.asarray(pool.counts, dtype=np.int64)
+        if rec.meets_qos:
+            satisfier_floors.append(vec)
+        else:
+            violator_ceilings.append(vec)

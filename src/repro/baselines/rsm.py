@@ -1,0 +1,115 @@
+"""Response Surface Methodology baseline (Sec. 5.3).
+
+A 3-level face-centered central composite design (CCF) over the search
+lattice: factorial corners at the low/high levels, axial points at the face
+centers, and the center point.  The design points are evaluated first; the
+scheme then explores locally around the most promising point (greedy
+neighborhood descent, as in the paper's Fig. 12 walkthrough), falling back
+to the next-best design point when the neighborhood is exhausted.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
+from repro.core.strategy import SearchStrategy, _Budget
+from repro.simulator.pool import PoolConfiguration
+
+
+def ccf_design(bounds: tuple[int, ...] | list[int]) -> list[tuple[int, ...]]:
+    """Face-centered central composite design points on ``[0, m_i]``.
+
+    Levels per factor are ``{0, round(m_i/2), m_i}``; the design is the
+    :math:`2^n` factorial corners, the :math:`2n` face centers, and the
+    center point.  Duplicate points (possible for tiny bounds) are dropped
+    while preserving order; the all-zero point is dropped because an empty
+    pool cannot serve.
+    """
+    bounds = [int(b) for b in bounds]
+    if any(b < 1 for b in bounds):
+        raise ValueError(f"bounds must be >= 1, got {bounds}")
+    n = len(bounds)
+    center = tuple(int(round(b / 2)) for b in bounds)
+    points: list[tuple[int, ...]] = []
+    # Factorial corners (low/high per factor).
+    for corner in itertools.product(*[(0, b) for b in bounds]):
+        points.append(tuple(corner))
+    # Axial face centers: one factor at low/high, the rest at center.
+    for dim in range(n):
+        for level in (0, bounds[dim]):
+            point = list(center)
+            point[dim] = level
+            points.append(tuple(point))
+    points.append(center)
+    seen: set[tuple[int, ...]] = set()
+    unique: list[tuple[int, ...]] = []
+    for p in points:
+        if p in seen or sum(p) == 0:
+            continue
+        seen.add(p)
+        unique.append(p)
+    return unique
+
+
+class ResponseSurface(SearchStrategy):
+    """CCF design + local exploration around the best design point."""
+
+    name = "RSM"
+
+    def __init__(self, max_samples: int = 100, seed: int = 0):
+        super().__init__(max_samples=max_samples, seed=seed)
+
+    def _run(
+        self,
+        evaluator: ConfigurationEvaluator,
+        budget: _Budget,
+        start: PoolConfiguration | None,
+    ) -> None:
+        space = evaluator.space
+        bounds = list(space.bounds)
+
+        # Phase 1: evaluate the design (the white diamonds of Fig. 12).
+        design_records: list[EvaluationRecord] = []
+        for counts in ccf_design(space.bounds):
+            rec = budget.evaluate(space.pool(counts))
+            if rec is None:
+                return
+            design_records.append(rec)
+
+        # Phase 2: explore around design points, best-first.
+        ranked = sorted(design_records, key=lambda r: r.objective, reverse=True)
+        for anchor in ranked:
+            if budget.exhausted:
+                return
+            current = anchor
+            while True:
+                improved = self._best_improving_neighbor(budget, current, bounds)
+                if improved is None:
+                    break
+                current = improved
+        budget.stopped = True
+
+    @staticmethod
+    def _best_improving_neighbor(
+        budget: _Budget,
+        current: EvaluationRecord,
+        bounds: list[int],
+    ) -> EvaluationRecord | None:
+        neighbors = current.pool.neighbors(bounds)
+        # Probe cheaper configurations first when satisfying (cost descent),
+        # capacity-adding ones first when violating.
+        neighbors.sort(
+            key=lambda p: p.hourly_cost(), reverse=not current.meets_qos
+        )
+        for pool in neighbors:
+            if budget.seen(pool):
+                continue
+            rec = budget.evaluate(pool)
+            if rec is None:
+                return None
+            if rec.objective > current.objective + 1e-12:
+                return rec
+        return None

@@ -1,0 +1,182 @@
+"""Command-line interface: regenerate paper experiments from the shell.
+
+Examples::
+
+    repro-ribbon fig9                 # cost savings per model
+    repro-ribbon fig4                 # the diverse-pool opportunity example
+    repro-ribbon search MT-WND        # run Ribbon on one model
+    repro-ribbon fig10 --models MT-WND DIEN
+
+Every figure/table of the paper's evaluation has a matching subcommand; the
+heavy experiments accept ``--queries`` and ``--seeds`` to trade fidelity for
+runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    ExperimentSetting,
+    cost_savings_experiment,
+    make_experiment,
+    mean_samples_to_saving,
+    search_comparison,
+)
+from repro.analysis.reporting import ascii_bar_chart, ascii_table
+from repro.core.optimizer import RibbonOptimizer
+
+ALL_MODELS = ("CANDLE", "ResNet50", "VGG19", "MT-WND", "DIEN")
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    setting = ExperimentSetting(n_queries=args.queries, gaussian_batches=args.gaussian)
+    rows = cost_savings_experiment(tuple(args.models), setting)
+    print(
+        ascii_table(
+            ["model", "homogeneous", "$/hr", "heterogeneous", "$/hr", "saving"],
+            [
+                (
+                    r.model,
+                    r.homogeneous_pool,
+                    f"{r.homogeneous_cost:.3f}",
+                    r.heterogeneous_pool,
+                    f"{r.heterogeneous_cost:.3f}",
+                    f"{r.saving_percent:.1f}%",
+                )
+                for r in rows
+            ],
+            title="Fig. 9 — cost saving of optimal heterogeneous configuration",
+        )
+    )
+    print()
+    print(
+        ascii_bar_chart(
+            [r.model for r in rows],
+            [r.saving_percent for r in rows],
+            unit="%",
+        )
+    )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.models.zoo import get_model
+    from repro.simulator.engine import InferenceServingSimulator
+    from repro.simulator.pool import PoolConfiguration
+    from repro.workload.trace import trace_for_model
+
+    model = get_model("MT-WND")
+    trace = trace_for_model(model, n_queries=args.queries, seed=args.seed)
+    sim = InferenceServingSimulator(model, track_queue=False)
+    rows = []
+    for g, t in [(4, 0), (5, 0), (0, 12), (3, 4), (2, 4), (4, 4)]:
+        pool = PoolConfiguration(("g4dn", "t3"), (g, t))
+        res = sim.simulate(trace, pool)
+        rate = res.qos_satisfaction_rate(model.qos_target_ms)
+        rows.append(
+            (
+                f"({g} + {t})",
+                f"{pool.hourly_cost():.3f}",
+                f"{100 * rate:.2f}%",
+                "meets" if rate >= 0.99 else "violates",
+            )
+        )
+    print(
+        ascii_table(
+            ["config (g4dn + t3)", "cost $/hr", "QoS sat. rate", "verdict"],
+            rows,
+            title="Fig. 4 — MT-WND diverse pool opportunity (p99 <= 20 ms)",
+        )
+    )
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    setting = ExperimentSetting(n_queries=args.queries)
+    for name in args.models:
+        exp = make_experiment(name, setting)
+        comparison = search_comparison(exp, seeds=tuple(range(args.seeds)))
+        max_saving = exp.max_saving_percent()
+        levels = [max_saving * f for f in (0.25, 0.5, 0.75, 1.0)]
+        rows = []
+        for method, results in comparison.items():
+            cells = [
+                f"{mean_samples_to_saving(results, exp.homogeneous_cost, lvl):.1f}"
+                for lvl in levels
+            ]
+            rows.append((method, *cells))
+        print(
+            ascii_table(
+                ["method", *[f"{lvl:.1f}%" for lvl in levels]],
+                rows,
+                title=(
+                    f"Fig. 10 — {name}: mean samples to reach cost-saving level "
+                    f"(max {max_saving:.1f}%)"
+                ),
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    setting = ExperimentSetting(n_queries=args.queries)
+    exp = make_experiment(args.model, setting)
+    optimizer = RibbonOptimizer(max_samples=args.samples, seed=args.seed)
+    result = optimizer.search(exp.evaluator, start=exp.default_start())
+    print(result.summary())
+    if result.best is not None:
+        saving = 100.0 * (1.0 - result.best_cost / exp.homogeneous_cost)
+        print(
+            f"homogeneous baseline {exp.homogeneous_optimum.pool} "
+            f"${exp.homogeneous_cost:.3f}/hr -> saving {saving:.1f}%"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ribbon",
+        description="Regenerate Ribbon (SC'21) experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p9 = sub.add_parser("fig9", help="cost savings per model (Fig. 9)")
+    p9.add_argument("--models", nargs="+", default=list(ALL_MODELS))
+    p9.add_argument("--queries", type=int, default=4000)
+    p9.add_argument("--gaussian", action="store_true", help="Fig. 11 variant")
+    p9.set_defaults(func=_cmd_fig9)
+
+    p4 = sub.add_parser("fig4", help="diverse pool opportunity (Fig. 4)")
+    p4.add_argument("--queries", type=int, default=4000)
+    p4.add_argument("--seed", type=int, default=1)
+    p4.set_defaults(func=_cmd_fig4)
+
+    p10 = sub.add_parser("fig10", help="convergence comparison (Fig. 10)")
+    p10.add_argument("--models", nargs="+", default=list(ALL_MODELS))
+    p10.add_argument("--queries", type=int, default=4000)
+    p10.add_argument("--seeds", type=int, default=3)
+    p10.set_defaults(func=_cmd_fig10)
+
+    ps = sub.add_parser("search", help="run Ribbon on one model")
+    ps.add_argument("model")
+    ps.add_argument("--queries", type=int, default=4000)
+    ps.add_argument("--samples", type=int, default=40)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.set_defaults(func=_cmd_search)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Ribbon's core: BO-driven diverse-pool configuration search (Sec. 4).
+
+The public surface:
+
+* :class:`~repro.core.search_space.SearchSpace` — the discrete configuration
+  lattice with per-type upper bounds :math:`m_i`;
+* :class:`~repro.core.objective.RibbonObjective` — the Eq. 2 two-region
+  objective;
+* :class:`~repro.core.evaluator.ConfigurationEvaluator` — the "costly"
+  black-box evaluation (serve the trace, measure QoS rate and cost);
+* :class:`~repro.core.optimizer.RibbonOptimizer` — the BO engine with
+  rounding kernel, EI acquisition, and active pruning;
+* :class:`~repro.core.scaling.LoadAdaptiveRibbon` — load-fluctuation
+  response (Sec. 4 last part, evaluated in Fig. 16);
+* :func:`~repro.core.pools.select_diverse_pool` — the Sec. 3.3 relaxed-QoS
+  rule for picking which instance types join the diverse pool.
+"""
+
+from repro.core.objective import (
+    CostOnlyObjective,
+    NonSmoothObjective,
+    ObjectiveFunction,
+    RibbonObjective,
+)
+from repro.core.search_space import SearchSpace, estimate_instance_bounds
+from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
+from repro.core.pruning import PruneSet
+from repro.core.result import SearchResult
+from repro.core.optimizer import RibbonOptimizer
+from repro.core.scaling import LoadAdaptiveRibbon, LoadChangeDetector, TimelinePoint
+from repro.core.pools import TABLE3_POOLS, select_diverse_pool
+
+__all__ = [
+    "ObjectiveFunction",
+    "RibbonObjective",
+    "NonSmoothObjective",
+    "CostOnlyObjective",
+    "SearchSpace",
+    "estimate_instance_bounds",
+    "ConfigurationEvaluator",
+    "EvaluationRecord",
+    "PruneSet",
+    "SearchResult",
+    "RibbonOptimizer",
+    "LoadAdaptiveRibbon",
+    "LoadChangeDetector",
+    "TimelinePoint",
+    "TABLE3_POOLS",
+    "select_diverse_pool",
+]

@@ -1,0 +1,101 @@
+"""Objective functions over configuration evaluations.
+
+The heart of Ribbon's formulation is Eq. 2 of the paper:
+
+.. math::
+
+   f(x) = \\begin{cases}
+     \\frac{1}{2} \\cdot \\frac{R_{sat}(x)}{T_{qos}}
+        & \\text{if } x \\text{ violates QoS} \\\\
+     \\frac{1}{2} + \\frac{1}{2}\\left(1 -
+        \\frac{\\sum_i p_i x_i}{\\sum_i p_i m_i}\\right)
+        & \\text{otherwise}
+   \\end{cases}
+
+* Any QoS-satisfying configuration scores above every violating one
+  (the satisfying branch is :math:`\\ge 1/2`, the violating branch is
+  :math:`< 1/2` because :math:`R_{sat} < T_{qos}`).
+* Within the violating region the objective grows with the satisfaction
+  rate; within the satisfying region it grows as cost shrinks.  Both
+  branches are smooth, and the jump at the boundary is capped at 1/2,
+  which the paper found necessary for the acquisition optimizer.
+
+The rejected designs discussed in Sec. 4 are kept as first-class objects so
+the ablation benchmarks can quantify *why* Eq. 2 is shaped this way.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.search_space import SearchSpace
+
+
+class ObjectiveFunction(abc.ABC):
+    """Maps an evaluated configuration to a scalar to be *maximized*."""
+
+    def __init__(self, space: SearchSpace, qos_rate_target: float = 0.99):
+        if not 0.0 < qos_rate_target <= 1.0:
+            raise ValueError(
+                f"qos_rate_target must be in (0, 1], got {qos_rate_target!r}"
+            )
+        self._space = space
+        self._target = float(qos_rate_target)
+
+    @property
+    def space(self) -> SearchSpace:
+        return self._space
+
+    @property
+    def qos_rate_target(self) -> float:
+        """:math:`T_{qos}` — required fraction of QoS-meeting queries."""
+        return self._target
+
+    def meets_qos(self, qos_rate: float) -> bool:
+        """Whether a measured satisfaction rate meets the target."""
+        return qos_rate >= self._target
+
+    @abc.abstractmethod
+    def value(self, counts, qos_rate: float) -> float:
+        """Objective value for configuration ``counts`` with measured rate."""
+
+
+class RibbonObjective(ObjectiveFunction):
+    """Eq. 2: smooth two-region objective in ``[0, 1]``."""
+
+    def value(self, counts, qos_rate: float) -> float:
+        if not 0.0 <= qos_rate <= 1.0:
+            raise ValueError(f"qos_rate must be in [0,1], got {qos_rate!r}")
+        if qos_rate < self._target:  # violates QoS
+            return 0.5 * qos_rate / self._target
+        norm_cost = self._space.cost(counts) / self._space.max_cost
+        return 0.5 + 0.5 * (1.0 - norm_cost)
+
+
+class NonSmoothObjective(ObjectiveFunction):
+    """The rejected single-metric design: flat zero in the violating region.
+
+    "For a non-smooth single-metric objective function, a large portion of
+    the search space will be flat, which cannot provide guidance" — the
+    ablation benchmark measures exactly this failure.
+    """
+
+    def value(self, counts, qos_rate: float) -> float:
+        if not 0.0 <= qos_rate <= 1.0:
+            raise ValueError(f"qos_rate must be in [0,1], got {qos_rate!r}")
+        if qos_rate < self._target:
+            return 0.0
+        norm_cost = self._space.cost(counts) / self._space.max_cost
+        return 1.0 - norm_cost
+
+
+class CostOnlyObjective(ObjectiveFunction):
+    """Cost minimization that ignores QoS entirely (sanity baseline).
+
+    Always steers to the cheapest configuration; used in tests to show the
+    co-optimization is load-bearing, not as a serious competitor.
+    """
+
+    def value(self, counts, qos_rate: float) -> float:
+        norm_cost = self._space.cost(counts) / self._space.max_cost
+        return 1.0 - norm_cost

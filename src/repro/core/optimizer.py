@@ -1,0 +1,275 @@
+"""Ribbon's Bayesian-optimization engine (Sec. 4).
+
+One BO iteration:
+
+1. fit a GP surrogate (Matern 5/2 under the Eq. 3 rounding wrapper, inputs
+   normalized to the unit cube) to all objective observations;
+2. compute Expected Improvement over every lattice configuration;
+3. mask out configurations already sampled (the rounding kernel makes the
+   acquisition constant within an integer cell, so re-sampling a cell can
+   never help) and configurations in the active prune set ``P``;
+4. evaluate the arg-max configuration, update the incumbent, the prune set
+   (dominance boxes of strong violators + the cost threshold of the
+   incumbent), and repeat.
+
+The optimizer also accepts *pseudo-observations* — estimated objective
+values injected as GP training data without costing evaluations — which is
+how the load-adaptation warm start of Sec. 4 feeds its set-S estimates in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.pruning import PruneSet
+from repro.core.strategy import SearchStrategy, _Budget
+from repro.gp.acquisition import expected_improvement
+from repro.gp.kernels import Kernel, Matern52, RoundedKernel
+from repro.gp.regression import GaussianProcessRegressor
+from repro.simulator.pool import PoolConfiguration
+
+
+@dataclass(frozen=True)
+class PseudoObservation:
+    """An estimated (not measured) objective value for warm starts."""
+
+    counts: tuple[int, ...]
+    objective: float
+
+
+class RibbonOptimizer(SearchStrategy):
+    """BO-based diverse-pool configuration search.
+
+    Parameters
+    ----------
+    max_samples:
+        Evaluation budget.
+    seed:
+        Seed for initial design and tie-breaking.
+    n_initial:
+        Configurations sampled before the first GP fit (the provided start
+        point counts toward this).
+    prune_threshold:
+        The :math:`\\theta` of Sec. 4: a configuration violating the QoS
+        rate target by more than this margin triggers dominance pruning.
+    patience:
+        Stop after this many consecutive samples without improving the
+        incumbent once a QoS-meeting configuration is known.  ``None``
+        disables early stopping.
+    use_rounding:
+        Apply the Eq. 3 rounding kernel (the ablation flag of Fig. 7).
+    use_pruning:
+        Apply active pruning (ablation flag).
+    kernel:
+        Override the base kernel (default Matern 5/2, the paper's choice).
+    """
+
+    name = "RIBBON"
+
+    def __init__(
+        self,
+        max_samples: int = 60,
+        seed: int = 0,
+        *,
+        n_initial: int = 3,
+        prune_threshold: float = 0.01,
+        patience: int | None = 10,
+        use_rounding: bool = True,
+        use_pruning: bool = True,
+        kernel: Kernel | None = None,
+        pseudo_observations: Sequence[PseudoObservation] = (),
+        prune_seed: Sequence[tuple[int, ...]] = (),
+        gp_noise: float = 1e-5,
+    ):
+        super().__init__(max_samples=max_samples, seed=seed)
+        if n_initial < 1:
+            raise ValueError(f"n_initial must be >= 1, got {n_initial!r}")
+        if prune_threshold < 0:
+            raise ValueError("prune_threshold must be non-negative")
+        if patience is not None and patience < 1:
+            raise ValueError("patience must be >= 1 or None")
+        self.n_initial = int(n_initial)
+        self.prune_threshold = float(prune_threshold)
+        self.patience = patience
+        self.use_rounding = bool(use_rounding)
+        self.use_pruning = bool(use_pruning)
+        self._kernel_override = kernel
+        self.pseudo_observations = tuple(pseudo_observations)
+        self.prune_seed = tuple(prune_seed)
+        self.gp_noise = float(gp_noise)
+        #: Prune set of the last run (exposed for warm-start transfer).
+        self.prune_set: PruneSet | None = None
+
+    # -- kernel -------------------------------------------------------------
+    def _make_kernel(self, bounds: Sequence[int]) -> Kernel:
+        base = (
+            self._kernel_override
+            if self._kernel_override is not None
+            else Matern52(length_scale=0.3, variance=1.0)
+        )
+        if self.use_rounding:
+            # Inputs are normalized by the bounds; scale maps them back to
+            # integer counts for rounding.
+            return RoundedKernel(base, scale=np.asarray(bounds, dtype=float))
+        return base
+
+    # -- main loop -------------------------------------------------------------
+    def _run(
+        self,
+        evaluator: ConfigurationEvaluator,
+        budget: _Budget,
+        start: PoolConfiguration | None,
+    ) -> None:
+        space = evaluator.space
+        objective = evaluator.objective
+        rng = np.random.default_rng(self.seed)
+        grid = space.grid()
+        grid_unit = space.normalize(grid)
+        prune = PruneSet(space.prices)
+        if self.use_pruning:
+            for counts in self.prune_seed:
+                prune.add_violator(counts)
+        self.prune_set = prune
+
+        sampled_idx: set[int] = set()
+        index_of = {tuple(int(v) for v in row): i for i, row in enumerate(grid)}
+
+        observations_x: list[np.ndarray] = []
+        observations_y: list[float] = []
+        for pseudo in self.pseudo_observations:
+            vec = np.asarray(pseudo.counts, dtype=float)
+            observations_x.append(vec / np.asarray(space.bounds, dtype=float))
+            observations_y.append(float(pseudo.objective))
+
+        def record_sample(pool: PoolConfiguration) -> bool:
+            """Evaluate, learn, and update pruning; False when out of budget."""
+            rec = budget.evaluate(pool)
+            if rec is None:
+                return False
+            idx = index_of.get(pool.counts)
+            if idx is not None:
+                sampled_idx.add(idx)
+            observations_x.append(
+                np.asarray(pool.counts, dtype=float)
+                / np.asarray(space.bounds, dtype=float)
+            )
+            observations_y.append(rec.objective)
+            if self.use_pruning:
+                if rec.meets_qos:
+                    prune.update_cost_threshold(rec.cost_per_hour)
+                elif (
+                    rec.qos_rate
+                    < objective.qos_rate_target - self.prune_threshold
+                ):
+                    prune.add_violator(pool.counts)
+            return True
+
+        # ---- initial design -------------------------------------------------
+        if start is None:
+            mid = tuple(max(1, round(b / 2)) for b in space.bounds)
+            start = space.pool(mid)
+        if not space.contains(start):
+            raise ValueError(f"start {start} outside search space {space}")
+        if not record_sample(start):
+            return
+        while budget.n_samples < min(self.n_initial, self.max_samples):
+            cand = self._random_unsampled(grid, sampled_idx, prune, rng)
+            if cand is None:
+                return
+            if not record_sample(space.pool(grid[cand])):
+                return
+
+        # ---- BO loop -----------------------------------------------------------
+        stale = 0
+        best_cost = np.inf
+        incumbent = budget.best_satisfying()
+        if incumbent is not None:
+            best_cost = incumbent.cost_per_hour
+        while not budget.exhausted:
+            candidates = self._candidate_mask(grid, sampled_idx, prune)
+            if not candidates.any():
+                budget.stopped = True
+                break
+            next_idx = self._propose(
+                grid_unit, observations_x, observations_y, candidates, space, rng
+            )
+            pool = space.pool(grid[next_idx])
+            if not record_sample(pool):
+                break
+            rec = budget.window()[-1]
+            if rec.meets_qos and rec.cost_per_hour < best_cost - 1e-12:
+                best_cost = rec.cost_per_hour
+                stale = 0
+            else:
+                stale += 1
+            if (
+                self.patience is not None
+                and np.isfinite(best_cost)
+                and stale >= self.patience
+            ):
+                budget.stopped = True
+                break
+        budget.metadata["n_pruned_final"] = prune.n_pruned(grid)
+        budget.metadata["cost_threshold"] = prune.cost_threshold
+
+    # -- helpers -------------------------------------------------------------
+    def _candidate_mask(
+        self, grid: np.ndarray, sampled_idx: set[int], prune: PruneSet
+    ) -> np.ndarray:
+        mask = np.ones(grid.shape[0], dtype=bool)
+        if sampled_idx:
+            mask[list(sampled_idx)] = False
+        if self.use_pruning:
+            mask &= ~prune.mask(grid)
+        return mask
+
+    def _random_unsampled(
+        self,
+        grid: np.ndarray,
+        sampled_idx: set[int],
+        prune: PruneSet,
+        rng: np.random.Generator,
+    ) -> int | None:
+        mask = self._candidate_mask(grid, sampled_idx, prune)
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            return None
+        return int(rng.choice(idx))
+
+    def _propose(
+        self,
+        grid_unit: np.ndarray,
+        observations_x: list[np.ndarray],
+        observations_y: list[float],
+        candidates: np.ndarray,
+        space,
+        rng: np.random.Generator,
+    ) -> int:
+        """Fit the GP and return the index of the EI-maximizing candidate."""
+        X = np.vstack(observations_x)
+        y = np.asarray(observations_y, dtype=float)
+        kernel = self._make_kernel(space.bounds)
+        gp = GaussianProcessRegressor(
+            kernel,
+            noise=self.gp_noise,
+            optimize_hyperparameters=len(y) >= 4,
+            n_restarts=1,
+            seed=int(rng.integers(2**31 - 1)),
+        )
+        gp.fit(X, y)
+        mean, std = gp.predict(grid_unit, return_std=True)
+        ei = expected_improvement(mean, std, best_observed=float(y.max()))
+        ei = np.where(candidates, ei, -np.inf)
+        best = float(ei.max())
+        if not np.isfinite(best) or best <= 0.0:
+            # Flat acquisition: fall back to the highest-variance candidate,
+            # breaking ties randomly (pure exploration).
+            score = np.where(candidates, std, -np.inf)
+            top = np.flatnonzero(score >= score.max() - 1e-15)
+            return int(rng.choice(top))
+        top = np.flatnonzero(ei >= best * (1.0 - 1e-9))
+        return int(rng.choice(top))

@@ -1,0 +1,76 @@
+"""Diverse pool composition (Table 3) and the Sec. 3.3 selection rule.
+
+The paper's guideline for picking which instance types join a diverse pool:
+take the best homogeneous type, relax the QoS target by ~30%, and add the
+most cost-effective instance types that can still satisfy the *relaxed*
+target (types selected with too much relaxation would inevitably violate the
+real QoS and never appear in the optimum).  Pool cardinality is fixed at
+three because Fig. 8 shows benefits saturate there.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.catalog import DEFAULT_CATALOG, InstanceCatalog
+from repro.models.base import ModelProfile
+
+#: Table 3 of the paper: homogeneous baseline type and diverse pool per model.
+TABLE3_POOLS: dict[str, dict[str, tuple[str, ...]]] = {
+    "CANDLE": {"homogeneous": ("c5a",), "diverse": ("c5a", "m5", "t3")},
+    "ResNet50": {"homogeneous": ("c5a",), "diverse": ("c5a", "m5", "t3")},
+    "VGG19": {"homogeneous": ("c5a",), "diverse": ("c5a", "m5", "t3")},
+    "MT-WND": {"homogeneous": ("g4dn",), "diverse": ("g4dn", "c5", "r5n")},
+    "DIEN": {"homogeneous": ("g4dn",), "diverse": ("g4dn", "c5", "r5n")},
+}
+
+
+def satisfies_relaxed_qos(
+    model: ModelProfile,
+    family: str,
+    *,
+    relaxation: float = 0.3,
+    batch_percentile: float = 99.0,
+) -> bool:
+    """Whether one instance type can serve the tail batch within the relaxed
+    QoS target.
+
+    The screening check of Sec. 3.3: the candidate's *service* latency at
+    the p99 batch size must fit in the relaxed target (queueing headroom is
+    what the later BO search settles).
+    """
+    from repro.workload.batch import HeavyTailLogNormalBatch
+
+    dist = HeavyTailLogNormalBatch(
+        model.batch_median, model.batch_sigma, model.max_batch
+    )
+    tail_batch = min(dist.percentile(batch_percentile), float(model.max_batch))
+    latency = float(model.latency_ms(family, tail_batch))
+    return latency <= model.relaxed_qos_ms(relaxation)
+
+
+def select_diverse_pool(
+    model: ModelProfile,
+    *,
+    cardinality: int = 3,
+    relaxation: float = 0.3,
+    reference_batch: float | None = None,
+    catalog: InstanceCatalog = DEFAULT_CATALOG,
+) -> tuple[str, ...]:
+    """Apply the Sec. 3.3 rule to build a diverse pool for ``model``.
+
+    Returns the homogeneous-best family followed by the ``cardinality - 1``
+    most cost-effective families (Eq. 1 at the mean batch size by default)
+    that pass the relaxed-QoS screen.
+    """
+    if cardinality < 1:
+        raise ValueError(f"cardinality must be >= 1, got {cardinality!r}")
+    anchor = model.homogeneous_family
+    batch = reference_batch if reference_batch is not None else model.mean_batch()
+    candidates = [
+        fam
+        for fam in model.profiled_families()
+        if fam != anchor
+        and fam in catalog
+        and satisfies_relaxed_qos(model, fam, relaxation=relaxation)
+    ]
+    candidates.sort(key=lambda f: model.cost_effectiveness(f, batch), reverse=True)
+    return (anchor, *candidates[: cardinality - 1])

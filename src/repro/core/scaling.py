@@ -1,0 +1,262 @@
+"""Load-fluctuation response (Sec. 4, evaluated in Fig. 16).
+
+When the offered load changes, the previous optimal configuration no longer
+meets QoS.  Ribbon:
+
+1. **detects** the change by monitoring the query queue and the QoS
+   satisfaction rate (a saturated configuration shows both a growing queue
+   and a collapsing rate);
+2. **transfers knowledge** from the exploration record of the previous
+   load: every configuration whose old-load satisfaction rate was at most
+   the previous optimum's old-load rate cannot satisfy the new (heavier)
+   load either — this is the set **S**; each member's dominated-below box is
+   pruned, and a *linear estimate* of its new-load satisfaction rate is fed
+   to the new BO as a pseudo-observation (the estimate only needs to warn
+   the GP away from the region, not be accurate);
+3. **restarts** the BO with this head start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
+from repro.core.optimizer import PseudoObservation, RibbonOptimizer
+from repro.core.result import SearchResult
+from repro.simulator.pool import PoolConfiguration
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One explored configuration in the Fig. 16 time series."""
+
+    sample_index: int
+    pool: PoolConfiguration
+    violation_percent: float
+    cost_per_hour: float
+    cost_normalized: float
+    phase: str  # "before" | "after"
+
+
+class LoadChangeDetector:
+    """Queue/QoS monitoring rule for load-change detection.
+
+    A load increase is flagged when the satisfaction rate of the currently
+    deployed configuration drops by more than ``rate_drop`` below the QoS
+    target *and* the mean queue length exceeds ``queue_factor`` times the
+    pool size (a persistent backlog: queries are stacking up faster than
+    they drain).
+    """
+
+    def __init__(self, rate_drop: float = 0.05, queue_factor: float = 0.5):
+        if rate_drop <= 0 or queue_factor < 0:
+            raise ValueError("rate_drop must be > 0 and queue_factor >= 0")
+        self.rate_drop = float(rate_drop)
+        self.queue_factor = float(queue_factor)
+
+    def load_changed(
+        self, record: EvaluationRecord, qos_rate_target: float
+    ) -> bool:
+        """Whether serving metrics indicate the load has shifted."""
+        rate_collapsed = record.qos_rate < qos_rate_target - self.rate_drop
+        queue_growing = (
+            record.mean_queue_length
+            > self.queue_factor * record.pool.total_instances
+        )
+        return rate_collapsed and queue_growing
+
+
+class LoadAdaptiveRibbon:
+    """Two-phase Ribbon run across a load change.
+
+    Parameters
+    ----------
+    optimizer_factory:
+        Zero-argument callable building a fresh :class:`RibbonOptimizer`
+        for each phase (keeps per-phase budgets independent).
+    detector:
+        The monitoring rule; Fig. 16 uses the defaults.
+    warm_start:
+        Transfer set-S pruning and pseudo-observations into phase 2 (the
+        ablation flag: False = cold restart).
+    """
+
+    def __init__(
+        self,
+        optimizer_factory=None,
+        *,
+        detector: LoadChangeDetector | None = None,
+        warm_start: bool = True,
+        response_factor: float = 1.5,
+    ):
+        if response_factor < 1.0:
+            raise ValueError("response_factor must be >= 1")
+        self._factory = optimizer_factory or (lambda: RibbonOptimizer())
+        self._detector = detector or LoadChangeDetector()
+        self.warm_start = bool(warm_start)
+        self.response_factor = float(response_factor)
+
+    # -- warm-start construction ---------------------------------------------
+    @staticmethod
+    def build_set_s(
+        old_history: tuple[EvaluationRecord, ...],
+        previous_best: EvaluationRecord,
+    ) -> list[EvaluationRecord]:
+        """Configurations that performed no better than the old optimum.
+
+        If the previous optimum cannot satisfy the new load's QoS, none of
+        these can either.
+        """
+        return [
+            r
+            for r in old_history
+            if r.qos_rate <= previous_best.qos_rate and r.pool != previous_best.pool
+        ]
+
+    @staticmethod
+    def estimate_new_rates(
+        set_s: list[EvaluationRecord],
+        previous_best: EvaluationRecord,
+        new_rate_of_best: float,
+    ) -> list[tuple[EvaluationRecord, float]]:
+        """Linear rate estimates for set-S members on the new load.
+
+        The paper's example: if A went from 99.9% to 33.3% (a 1/3 factor),
+        a B at 90% is estimated at 30%.
+        """
+        if previous_best.qos_rate <= 0:
+            return [(r, 0.0) for r in set_s]
+        factor = new_rate_of_best / previous_best.qos_rate
+        return [(r, max(0.0, min(1.0, r.qos_rate * factor))) for r in set_s]
+
+    # -- the full scenario -------------------------------------------------------
+    def run(
+        self,
+        evaluator_before: ConfigurationEvaluator,
+        evaluator_after: ConfigurationEvaluator,
+        start: PoolConfiguration | None = None,
+    ) -> "LoadAdaptationOutcome":
+        """Search on the initial load, apply the load change, re-search."""
+        phase1_opt = self._factory()
+        result_before = phase1_opt.search(evaluator_before, start=start)
+        if result_before.best is None:
+            raise RuntimeError(
+                "phase 1 found no QoS-meeting configuration; "
+                "increase the search budget or the space bounds"
+            )
+        prev_best = result_before.best
+
+        # The deployed optimum experiences the new load; monitoring flags it.
+        deployed = evaluator_after.evaluate(prev_best.pool)
+        detected = self._detector.load_changed(
+            deployed, evaluator_after.objective.qos_rate_target
+        )
+
+        pseudo: list[PseudoObservation] = []
+        prune_seed: list[tuple[int, ...]] = []
+        if self.warm_start:
+            set_s = self.build_set_s(result_before.history, prev_best)
+            estimates = self.estimate_new_rates(set_s, prev_best, deployed.qos_rate)
+            objective = evaluator_after.objective
+            for rec, est_rate in estimates:
+                pseudo.append(
+                    PseudoObservation(
+                        counts=rec.pool.counts,
+                        objective=objective.value(rec.pool.counts, est_rate),
+                    )
+                )
+                prune_seed.append(rec.pool.counts)
+
+        # "Ribbon can quickly respond to the load change by adjusting to a
+        # more expensive and better performance configuration": the phase-2
+        # search starts from the previous optimum scaled up by the response
+        # factor (capped at the space bounds), which usually restores QoS
+        # immediately and arms the cost-threshold pruning from sample one.
+        space = evaluator_after.space
+        scaled = tuple(
+            min(int(-(-c * self.response_factor // 1)) if c else 0, b)
+            for c, b in zip(prev_best.pool.counts, space.bounds)
+        )
+        if sum(scaled) == 0:
+            scaled = tuple(min(1, b) for b in space.bounds)
+        start_after = space.pool(scaled) if detected else prev_best.pool
+
+        phase2_opt = self._factory()
+        phase2_opt.pseudo_observations = tuple(pseudo)
+        phase2_opt.prune_seed = tuple(prune_seed)
+        result_after = phase2_opt.search(evaluator_after, start=start_after)
+
+        return LoadAdaptationOutcome(
+            result_before=result_before,
+            result_after=result_after,
+            deployed_on_new_load=deployed,
+            detected=detected,
+            warm_start=self.warm_start,
+            n_pseudo=len(pseudo),
+        )
+
+
+@dataclass(frozen=True)
+class LoadAdaptationOutcome:
+    """Everything Fig. 16 plots, for one model."""
+
+    result_before: SearchResult
+    result_after: SearchResult
+    deployed_on_new_load: EvaluationRecord
+    detected: bool
+    warm_start: bool
+    n_pseudo: int
+
+    def timeline(self) -> list[TimelinePoint]:
+        """The Fig. 16 series: violation % and normalized cost per sample.
+
+        Cost is normalized to the optimal cost *before* the load change;
+        time is expressed as sample index (one configuration evaluation per
+        tick, matching the paper's %-of-previous-exploration-time axis).
+        """
+        base_cost = self.result_before.best_cost
+        points: list[TimelinePoint] = []
+        for i, rec in enumerate(self.result_before.history):
+            points.append(
+                TimelinePoint(
+                    sample_index=i,
+                    pool=rec.pool,
+                    violation_percent=100.0 * (1.0 - rec.qos_rate),
+                    cost_per_hour=rec.cost_per_hour,
+                    cost_normalized=rec.cost_per_hour / base_cost,
+                    phase="before",
+                )
+            )
+        for i, rec in enumerate(self.result_after.history):
+            points.append(
+                TimelinePoint(
+                    sample_index=i,
+                    pool=rec.pool,
+                    violation_percent=100.0 * (1.0 - rec.qos_rate),
+                    cost_per_hour=rec.cost_per_hour,
+                    cost_normalized=rec.cost_per_hour / base_cost,
+                    phase="after",
+                )
+            )
+        return points
+
+    @property
+    def relative_convergence_time(self) -> float:
+        """Phase-2 samples-to-best as a fraction of phase-1 samples-to-best.
+
+        The paper reports this below 60% thanks to the warm start.
+        """
+        t1 = self.result_before.samples_to_best()
+        t2 = self.result_after.samples_to_best()
+        if t1 is None or t2 is None or t1 == 0:
+            return float("inf")
+        return t2 / t1
+
+    @property
+    def cost_ratio_after_vs_before(self) -> float:
+        """New-load optimal cost over old-load optimal cost (~1.5x in Fig. 16)."""
+        before = self.result_before.best_cost
+        after = self.result_after.best_cost
+        if before <= 0:
+            return float("inf")
+        return after / before

@@ -1,0 +1,163 @@
+"""The discrete configuration search space.
+
+A :class:`SearchSpace` is the lattice :math:`\\{0..m_1\\} \\times ... \\times
+\\{0..m_n\\}` (minus the empty pool) over an ordered tuple of instance
+families.  The per-type upper bound :math:`m_i` is defined by the paper as
+the count beyond which adding more instances of type *i* stops improving the
+QoS satisfaction rate; :func:`estimate_instance_bounds` measures it by
+simulation exactly that way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.catalog import DEFAULT_CATALOG, InstanceCatalog
+from repro.models.base import ModelProfile
+from repro.simulator.engine import InferenceServingSimulator
+from repro.simulator.pool import PoolConfiguration, grid_vectors
+from repro.workload.trace import QueryTrace
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Ordered instance families with per-type count bounds.
+
+    The family order is semantic (FCFS dispatch preference and the
+    "increasing order along each dimension" smoothness arrangement of
+    Sec. 4).
+    """
+
+    families: tuple[str, ...]
+    bounds: tuple[int, ...]
+    catalog: InstanceCatalog = field(
+        default_factory=lambda: DEFAULT_CATALOG, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        fams = tuple(self.families)
+        bnds = tuple(int(b) for b in self.bounds)
+        if len(fams) != len(bnds):
+            raise ValueError("families/bounds length mismatch")
+        if not fams:
+            raise ValueError("search space needs at least one family")
+        if len(set(fams)) != len(fams):
+            raise ValueError(f"duplicate families: {fams}")
+        if any(b < 1 for b in bnds):
+            raise ValueError(f"each bound must be >= 1, got {bnds}")
+        for f in fams:
+            self.catalog[f]  # validate existence
+        object.__setattr__(self, "families", fams)
+        object.__setattr__(self, "bounds", bnds)
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def n_dims(self) -> int:
+        return len(self.families)
+
+    @property
+    def n_configurations(self) -> int:
+        """Number of lattice points excluding the empty pool."""
+        total = 1
+        for b in self.bounds:
+            total *= b + 1
+        return total - 1
+
+    def grid(self) -> np.ndarray:
+        """All configurations as an ``(m, n)`` integer array."""
+        return grid_vectors(self.bounds)
+
+    def pools(self) -> list[PoolConfiguration]:
+        """All configurations as pool objects (exhaustive search)."""
+        return [self.pool(v) for v in self.grid()]
+
+    def pool(self, vector: Sequence[int]) -> PoolConfiguration:
+        """Lattice vector -> :class:`PoolConfiguration`."""
+        vec = tuple(int(v) for v in vector)
+        if len(vec) != self.n_dims:
+            raise ValueError(f"vector has {len(vec)} dims, space has {self.n_dims}")
+        if any(v < 0 or v > b for v, b in zip(vec, self.bounds)):
+            raise ValueError(f"vector {vec} outside bounds {self.bounds}")
+        return PoolConfiguration(self.families, vec)
+
+    def contains(self, pool: PoolConfiguration) -> bool:
+        """Whether a pool lies inside the lattice (families must match)."""
+        if pool.families != self.families:
+            return False
+        return all(0 <= c <= b for c, b in zip(pool.counts, self.bounds))
+
+    # -- normalization (GP inputs) ---------------------------------------------
+    def normalize(self, vectors: np.ndarray) -> np.ndarray:
+        """Map integer counts to ``[0, 1]`` per dimension (GP input space)."""
+        arr = np.asarray(vectors, dtype=float)
+        return arr / np.asarray(self.bounds, dtype=float)
+
+    def denormalize(self, unit: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalize` (still real-valued)."""
+        return np.asarray(unit, dtype=float) * np.asarray(self.bounds, dtype=float)
+
+    # -- cost -------------------------------------------------------------------
+    @property
+    def prices(self) -> np.ndarray:
+        """Hourly price per dimension (the :math:`p_i` of Eq. 2)."""
+        return np.asarray(
+            [self.catalog[f].price_per_hour for f in self.families], dtype=float
+        )
+
+    @property
+    def max_cost(self) -> float:
+        """Cost of the all-max pool (the :math:`\\sum p_i m_i` of Eq. 2)."""
+        return float(self.prices @ np.asarray(self.bounds, dtype=float))
+
+    def cost(self, vector: Sequence[int]) -> float:
+        """Hourly cost of a lattice vector."""
+        return float(self.prices @ np.asarray(vector, dtype=float))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = ", ".join(f"{f}<= {b}" for f, b in zip(self.families, self.bounds))
+        return f"SearchSpace({dims}; {self.n_configurations} configs)"
+
+
+def estimate_instance_bounds(
+    model: ModelProfile,
+    trace: QueryTrace,
+    families: Sequence[str],
+    *,
+    qos_target_ms: float | None = None,
+    saturation_eps: float = 1e-3,
+    hard_cap: int = 16,
+    catalog: InstanceCatalog = DEFAULT_CATALOG,
+) -> SearchSpace:
+    """Measure the paper's per-type upper bound :math:`m_i` by simulation.
+
+    For each family, the QoS satisfaction rate of a growing homogeneous pool
+    rises until queueing is eliminated and then plateaus (service-time
+    violations cannot be fixed by adding instances): "when serving with u
+    instances the rate is 95% and stays 95% with u+1, then m_i = u".
+    :math:`m_i` is the smallest count reaching that plateau (within
+    ``saturation_eps``), capped at ``hard_cap``.
+
+    Returns a ready :class:`SearchSpace` over ``families``.
+    """
+    target = qos_target_ms if qos_target_ms is not None else model.qos_target_ms
+    sim = InferenceServingSimulator(model, track_queue=False)
+    bounds: list[int] = []
+    for fam in families:
+        rates: list[float] = []
+        for count in range(1, hard_cap + 1):
+            res = sim.simulate(trace, PoolConfiguration.homogeneous(fam, count))
+            rate = res.qos_satisfaction_rate(target)
+            rates.append(rate)
+            if rate >= 1.0 - 1e-12:
+                break  # a perfect rate cannot improve further
+        plateau = max(rates)
+        m_i = next(
+            count
+            for count, rate in enumerate(rates, start=1)
+            if rate >= plateau - saturation_eps
+        )
+        bounds.append(max(m_i, 1))
+    return SearchSpace(tuple(families), tuple(bounds), catalog)

@@ -1,0 +1,48 @@
+"""Gaussian process substrate, written from scratch.
+
+Implements everything Ribbon's BO engine needs (Sec. 4 of the paper):
+
+* covariance kernels — Matern 5/2 (Ribbon's choice), RBF, Rational
+  Quadratic and Dot Product (the alternatives the paper rejects, kept so the
+  design-choice ablations are runnable), plus a white-noise term;
+* the **rounding kernel wrapper** of Eq. 3,
+  ``k'(x_i, x_j) = k(R(x_i), R(x_j))``, which makes the GP piecewise
+  constant across integer cells so the surrogate matches the categorical
+  (integer instance count) true objective;
+* exact GP regression via Cholesky factorization with log-marginal-
+  likelihood hyperparameter fitting (multi-restart L-BFGS-B);
+* acquisition functions — Expected Improvement (Ribbon's choice),
+  Probability of Improvement and UCB.
+"""
+
+from repro.gp.kernels import (
+    RBF,
+    ConstantScale,
+    DotProduct,
+    Kernel,
+    Matern52,
+    RationalQuadratic,
+    RoundedKernel,
+    WhiteNoise,
+)
+from repro.gp.regression import GaussianProcessRegressor
+from repro.gp.acquisition import (
+    expected_improvement,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+
+__all__ = [
+    "Kernel",
+    "Matern52",
+    "RBF",
+    "RationalQuadratic",
+    "DotProduct",
+    "WhiteNoise",
+    "ConstantScale",
+    "RoundedKernel",
+    "GaussianProcessRegressor",
+    "expected_improvement",
+    "probability_of_improvement",
+    "upper_confidence_bound",
+]

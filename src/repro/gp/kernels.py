@@ -1,0 +1,336 @@
+"""Covariance kernels.
+
+Every kernel exposes its tunable hyperparameters as a flat log-space vector
+(``theta``) so the regressor can optimize the marginal likelihood with an
+unconstrained optimizer; bounds are carried per kernel.
+
+The paper's choices and the reasoning reproduced here (Sec. 4):
+
+* **Matern 5/2** — smooth but not infinitely differentiable; similar
+  configurations get similar objective values without assuming an overly
+  smooth objective.  Ribbon's surrogate kernel.
+* **RBF** — infinitely smooth alternative.
+* **Rational Quadratic / Dot Product** — assume particular polynomial /
+  monotonic structure, which the paper argues is unsuitable; included for
+  the ablation benchmarks.
+* **RoundedKernel** (Eq. 3) — wraps any base kernel, rounding inputs to the
+  nearest integer before evaluating, so the GP is constant within each
+  integer cell of the configuration lattice.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+_JITTER_EPS = 1e-12
+
+
+def _as_2d(X) -> np.ndarray:
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError(f"inputs must be 2-D (n, d), got shape {arr.shape}")
+    return arr
+
+
+def _sq_dists(X1: np.ndarray, X2: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, shape (n1, n2)."""
+    # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b  (vectorized, no python loops)
+    sq1 = np.sum(X1**2, axis=1)[:, None]
+    sq2 = np.sum(X2**2, axis=1)[None, :]
+    d2 = sq1 + sq2 - 2.0 * X1 @ X2.T
+    return np.maximum(d2, 0.0)
+
+
+class Kernel(abc.ABC):
+    """Base covariance function with log-space hyperparameter plumbing."""
+
+    @abc.abstractmethod
+    def __call__(self, X1, X2) -> np.ndarray:
+        """Covariance matrix between row-sets ``X1`` (n1,d) and ``X2`` (n2,d)."""
+
+    @abc.abstractmethod
+    def get_theta(self) -> np.ndarray:
+        """Current hyperparameters as a flat log-space vector."""
+
+    @abc.abstractmethod
+    def set_theta(self, theta: np.ndarray) -> None:
+        """Set hyperparameters from a flat log-space vector."""
+
+    @abc.abstractmethod
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        """Log-space (low, high) bounds per hyperparameter."""
+
+    @property
+    def n_params(self) -> int:
+        return len(self.get_theta())
+
+    def diag(self, X) -> np.ndarray:
+        """Diagonal of ``self(X, X)`` (default: computes full matrix)."""
+        return np.diag(self(X, X)).copy()
+
+    # Composition -----------------------------------------------------------
+    def __add__(self, other: "Kernel") -> "SumKernel":
+        return SumKernel(self, other)
+
+    def __mul__(self, scale: float) -> "ConstantScale":
+        return ConstantScale(self, variance=float(scale))
+
+
+class Matern52(Kernel):
+    """Matern kernel with smoothness nu = 5/2 (Ribbon's surrogate kernel).
+
+    .. math::
+
+       k(r) = \\sigma^2 (1 + \\sqrt{5} r / \\ell + 5 r^2 / (3 \\ell^2))
+              \\exp(-\\sqrt{5} r / \\ell)
+    """
+
+    def __init__(self, length_scale: float = 1.0, variance: float = 1.0):
+        if length_scale <= 0 or variance <= 0:
+            raise ValueError("length_scale and variance must be positive")
+        self.length_scale = float(length_scale)
+        self.variance = float(variance)
+
+    def __call__(self, X1, X2) -> np.ndarray:
+        X1, X2 = _as_2d(X1), _as_2d(X2)
+        r = np.sqrt(_sq_dists(X1, X2) + _JITTER_EPS) / self.length_scale
+        sqrt5_r = np.sqrt(5.0) * r
+        return self.variance * (1.0 + sqrt5_r + 5.0 * r**2 / 3.0) * np.exp(-sqrt5_r)
+
+    def get_theta(self) -> np.ndarray:
+        return np.log([self.length_scale, self.variance])
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        self.length_scale, self.variance = np.exp(np.asarray(theta, dtype=float))
+
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        return [(np.log(1e-2), np.log(1e2)), (np.log(1e-4), np.log(1e2))]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Matern52(length_scale={self.length_scale:.4g}, variance={self.variance:.4g})"
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel: ``sigma^2 exp(-r^2 / (2 l^2))``."""
+
+    def __init__(self, length_scale: float = 1.0, variance: float = 1.0):
+        if length_scale <= 0 or variance <= 0:
+            raise ValueError("length_scale and variance must be positive")
+        self.length_scale = float(length_scale)
+        self.variance = float(variance)
+
+    def __call__(self, X1, X2) -> np.ndarray:
+        X1, X2 = _as_2d(X1), _as_2d(X2)
+        d2 = _sq_dists(X1, X2)
+        return self.variance * np.exp(-0.5 * d2 / self.length_scale**2)
+
+    def get_theta(self) -> np.ndarray:
+        return np.log([self.length_scale, self.variance])
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        self.length_scale, self.variance = np.exp(np.asarray(theta, dtype=float))
+
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        return [(np.log(1e-2), np.log(1e2)), (np.log(1e-4), np.log(1e2))]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RBF(length_scale={self.length_scale:.4g}, variance={self.variance:.4g})"
+
+
+class RationalQuadratic(Kernel):
+    """Rational quadratic kernel (scale mixture of RBFs).
+
+    Included as a rejected-alternative for the kernel ablation: the paper
+    argues it assumes a particular polynomial decay of covariance.
+    """
+
+    def __init__(
+        self, length_scale: float = 1.0, alpha: float = 1.0, variance: float = 1.0
+    ):
+        if length_scale <= 0 or alpha <= 0 or variance <= 0:
+            raise ValueError("all hyperparameters must be positive")
+        self.length_scale = float(length_scale)
+        self.alpha = float(alpha)
+        self.variance = float(variance)
+
+    def __call__(self, X1, X2) -> np.ndarray:
+        X1, X2 = _as_2d(X1), _as_2d(X2)
+        d2 = _sq_dists(X1, X2)
+        return self.variance * (
+            1.0 + d2 / (2.0 * self.alpha * self.length_scale**2)
+        ) ** (-self.alpha)
+
+    def get_theta(self) -> np.ndarray:
+        return np.log([self.length_scale, self.alpha, self.variance])
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        self.length_scale, self.alpha, self.variance = np.exp(
+            np.asarray(theta, dtype=float)
+        )
+
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        return [
+            (np.log(1e-2), np.log(1e2)),
+            (np.log(1e-2), np.log(1e2)),
+            (np.log(1e-4), np.log(1e2)),
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RationalQuadratic(length_scale={self.length_scale:.4g}, "
+            f"alpha={self.alpha:.4g}, variance={self.variance:.4g})"
+        )
+
+
+class DotProduct(Kernel):
+    """Linear (dot product) kernel — assumes monotonic objectives.
+
+    Included as a rejected-alternative for the kernel ablation.
+    """
+
+    def __init__(self, sigma0: float = 1.0, variance: float = 1.0):
+        if sigma0 < 0 or variance <= 0:
+            raise ValueError("sigma0 must be >= 0 and variance > 0")
+        self.sigma0 = float(sigma0)
+        self.variance = float(variance)
+
+    def __call__(self, X1, X2) -> np.ndarray:
+        X1, X2 = _as_2d(X1), _as_2d(X2)
+        return self.variance * (self.sigma0**2 + X1 @ X2.T)
+
+    def get_theta(self) -> np.ndarray:
+        return np.log([max(self.sigma0, 1e-8), self.variance])
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        self.sigma0, self.variance = np.exp(np.asarray(theta, dtype=float))
+
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        return [(np.log(1e-4), np.log(1e2)), (np.log(1e-4), np.log(1e2))]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DotProduct(sigma0={self.sigma0:.4g}, variance={self.variance:.4g})"
+
+
+class WhiteNoise(Kernel):
+    """Independent observation noise: ``sigma_n^2 I`` on identical rows."""
+
+    def __init__(self, noise: float = 1e-6):
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        self.noise = float(noise)
+
+    def __call__(self, X1, X2) -> np.ndarray:
+        X1, X2 = _as_2d(X1), _as_2d(X2)
+        if X1 is X2 or (X1.shape == X2.shape and np.array_equal(X1, X2)):
+            return self.noise * np.eye(X1.shape[0])
+        return np.zeros((X1.shape[0], X2.shape[0]))
+
+    def get_theta(self) -> np.ndarray:
+        return np.log([self.noise])
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        (self.noise,) = np.exp(np.asarray(theta, dtype=float))
+
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        return [(np.log(1e-8), np.log(1e-1))]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WhiteNoise(noise={self.noise:.4g})"
+
+
+class ConstantScale(Kernel):
+    """Multiplies a base kernel by a tunable variance factor."""
+
+    def __init__(self, base: Kernel, variance: float = 1.0):
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        self.base = base
+        self.variance = float(variance)
+
+    def __call__(self, X1, X2) -> np.ndarray:
+        return self.variance * self.base(X1, X2)
+
+    def get_theta(self) -> np.ndarray:
+        return np.concatenate([[np.log(self.variance)], self.base.get_theta()])
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=float)
+        self.variance = float(np.exp(theta[0]))
+        self.base.set_theta(theta[1:])
+
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        return [(np.log(1e-4), np.log(1e4))] + self.base.theta_bounds()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantScale({self.base!r}, variance={self.variance:.4g})"
+
+
+class SumKernel(Kernel):
+    """Sum of two kernels (e.g. signal kernel + white noise)."""
+
+    def __init__(self, left: Kernel, right: Kernel):
+        self.left = left
+        self.right = right
+
+    def __call__(self, X1, X2) -> np.ndarray:
+        return self.left(X1, X2) + self.right(X1, X2)
+
+    def get_theta(self) -> np.ndarray:
+        return np.concatenate([self.left.get_theta(), self.right.get_theta()])
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=float)
+        nl = self.left.n_params
+        self.left.set_theta(theta[:nl])
+        self.right.set_theta(theta[nl:])
+
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        return self.left.theta_bounds() + self.right.theta_bounds()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SumKernel({self.left!r}, {self.right!r})"
+
+
+class RoundedKernel(Kernel):
+    """Eq. 3 of the paper: ``k'(x_i, x_j) = k(R(x_i), R(x_j))``.
+
+    ``R`` rounds every coordinate to the nearest integer *in the original
+    (instance count) space*.  When the regressor normalizes inputs, pass the
+    per-dimension ``scale`` so rounding still happens on integer counts:
+    coordinates are de-normalized, rounded, and re-normalized.
+
+    The wrapped GP is piecewise constant across integer cells, so (a) its
+    mean matches the step-shaped true objective (Fig. 7b), and (b) the
+    acquisition function is constant within a cell, which lets the optimizer
+    skip already-sampled cells entirely.
+    """
+
+    def __init__(self, base: Kernel, scale: np.ndarray | float = 1.0):
+        self.base = base
+        self.scale = np.asarray(scale, dtype=float)
+        if np.any(self.scale <= 0):
+            raise ValueError("scale must be positive")
+
+    def round_input(self, X) -> np.ndarray:
+        """Apply R(.) in original units and map back to normalized units."""
+        X = _as_2d(X)
+        return np.rint(X * self.scale) / self.scale
+
+    def __call__(self, X1, X2) -> np.ndarray:
+        return self.base(self.round_input(X1), self.round_input(X2))
+
+    def get_theta(self) -> np.ndarray:
+        return self.base.get_theta()
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        self.base.set_theta(theta)
+
+    def theta_bounds(self) -> list[tuple[float, float]]:
+        return self.base.theta_bounds()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RoundedKernel({self.base!r})"

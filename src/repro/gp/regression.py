@@ -1,0 +1,200 @@
+"""Exact Gaussian process regression.
+
+Standard GP machinery (Rasmussen & Williams ch. 2) implemented directly on
+numpy/scipy:
+
+* posterior mean/variance via a Cholesky factorization of
+  ``K + sigma_n^2 I`` (jitter-stabilized);
+* hyperparameter selection by maximizing the log marginal likelihood with
+  multi-restart L-BFGS-B over the kernel's log-space parameter vector
+  (gradients by finite differences — sample counts in Ribbon's regime are a
+  few dozen, so the cubic cost is negligible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+from scipy import optimize
+
+from repro.gp.kernels import Kernel, _as_2d
+
+
+class GaussianProcessRegressor:
+    """GP regression with a pluggable kernel.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function (its hyperparameters are mutated by ``fit`` when
+        ``optimize_hyperparameters`` is on).
+    noise:
+        Observation noise variance ``sigma_n^2`` added to the kernel
+        diagonal.  Ribbon's objective evaluations are deterministic given a
+        trace, so the default is a small stabilizing value.
+    normalize_y:
+        Center/scale targets before fitting (restored on prediction).
+    optimize_hyperparameters:
+        Maximize the log marginal likelihood on ``fit``.
+    n_restarts:
+        Random restarts for the hyperparameter search.
+    seed:
+        Seed for restart sampling.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        noise: float = 1e-6,
+        *,
+        normalize_y: bool = True,
+        optimize_hyperparameters: bool = True,
+        n_restarts: int = 2,
+        seed: int = 0,
+    ):
+        if noise <= 0:
+            raise ValueError(f"noise must be positive, got {noise!r}")
+        self.kernel = kernel
+        self.noise = float(noise)
+        self.normalize_y = bool(normalize_y)
+        self.optimize_hyperparameters = bool(optimize_hyperparameters)
+        self.n_restarts = int(n_restarts)
+        self._rng = np.random.default_rng(seed)
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._L: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # -- fitting -------------------------------------------------------------
+    def fit(self, X, y) -> "GaussianProcessRegressor":
+        """Condition the GP on observations ``(X, y)``."""
+        X = _as_2d(X)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+            )
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+        self._X = X
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            std = float(y.std())
+            self._y_std = std if std > 1e-12 else 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        self._y = (y - self._y_mean) / self._y_std
+
+        if self.optimize_hyperparameters and X.shape[0] >= 3:
+            self._optimize_theta()
+        self._factorize()
+        return self
+
+    def _factorize(self) -> None:
+        assert self._X is not None and self._y is not None
+        K = self.kernel(self._X, self._X)
+        K[np.diag_indices_from(K)] += self.noise
+        self._L = self._stable_cholesky(K)
+        self._alpha = sla.cho_solve((self._L, True), self._y)
+
+    @staticmethod
+    def _stable_cholesky(K: np.ndarray) -> np.ndarray:
+        """Cholesky with escalating jitter for near-singular matrices."""
+        jitter = 0.0
+        base = np.mean(np.diag(K)) if K.size else 1.0
+        for attempt in range(6):
+            try:
+                return sla.cholesky(K + jitter * np.eye(K.shape[0]), lower=True)
+            except sla.LinAlgError:
+                jitter = base * 10.0 ** (attempt - 8)
+        raise sla.LinAlgError(
+            "kernel matrix not positive definite even with jitter; "
+            "check for duplicated inputs with inconsistent targets"
+        )
+
+    # -- hyperparameter optimization ------------------------------------------
+    def log_marginal_likelihood(self, theta: np.ndarray | None = None) -> float:
+        """Log marginal likelihood of the (normalized) training targets."""
+        if self._X is None or self._y is None:
+            raise RuntimeError("call fit() before log_marginal_likelihood()")
+        if theta is not None:
+            saved = self.kernel.get_theta()
+            self.kernel.set_theta(np.asarray(theta, dtype=float))
+        try:
+            K = self.kernel(self._X, self._X)
+            K[np.diag_indices_from(K)] += self.noise
+            try:
+                L = self._stable_cholesky(K)
+            except sla.LinAlgError:
+                return -np.inf
+            alpha = sla.cho_solve((L, True), self._y)
+            n = self._y.size
+            return float(
+                -0.5 * self._y @ alpha
+                - np.sum(np.log(np.diag(L)))
+                - 0.5 * n * np.log(2.0 * np.pi)
+            )
+        finally:
+            if theta is not None:
+                self.kernel.set_theta(saved)
+
+    def _optimize_theta(self) -> None:
+        bounds = self.kernel.theta_bounds()
+        if not bounds:
+            return
+
+        def neg_lml(theta: np.ndarray) -> float:
+            val = self.log_marginal_likelihood(theta)
+            return -val if np.isfinite(val) else 1e25
+
+        starts = [self.kernel.get_theta()]
+        lows = np.array([b[0] for b in bounds])
+        highs = np.array([b[1] for b in bounds])
+        for _ in range(self.n_restarts):
+            starts.append(self._rng.uniform(lows, highs))
+
+        best_theta, best_val = None, np.inf
+        for x0 in starts:
+            res = optimize.minimize(
+                neg_lml,
+                np.clip(x0, lows, highs),
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": 100},
+            )
+            if res.fun < best_val:
+                best_val, best_theta = float(res.fun), res.x
+        if best_theta is not None and np.isfinite(best_val):
+            self.kernel.set_theta(best_theta)
+
+    # -- prediction ------------------------------------------------------------
+    def predict(self, X, return_std: bool = False):
+        """Posterior mean (and optionally standard deviation) at ``X``."""
+        if self._X is None or self._alpha is None or self._L is None:
+            raise RuntimeError("call fit() before predict()")
+        X = _as_2d(X)
+        K_star = self.kernel(X, self._X)
+        mean = K_star @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = sla.solve_triangular(self._L, K_star.T, lower=True)
+        prior_var = self.kernel.diag(X)
+        var = prior_var - np.sum(v**2, axis=0)
+        var = np.maximum(var, 1e-12)
+        return mean, np.sqrt(var) * self._y_std
+
+    @property
+    def X_train(self) -> np.ndarray:
+        """Training inputs (after fit)."""
+        if self._X is None:
+            raise RuntimeError("GP has not been fit")
+        return self._X
+
+    @property
+    def y_train(self) -> np.ndarray:
+        """Training targets in original units (after fit)."""
+        if self._y is None:
+            raise RuntimeError("GP has not been fit")
+        return self._y * self._y_std + self._y_mean

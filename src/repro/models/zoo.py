@@ -1,0 +1,197 @@
+"""The five studied models (Table 1) with calibrated latency profiles.
+
+Latency coefficients are synthetic but calibrated so that every qualitative
+fact in the paper's characterization (Sec. 3, Fig. 3, Fig. 4) holds; the
+calibration contract is listed in DESIGN.md section 5 and enforced by
+``tests/test_calibration.py``.  Workload defaults (QoS targets, arrival
+rates, batch distributions) follow Sec. 5.1:
+
+* QoS targets: CANDLE 40 ms, ResNet50 400 ms, VGG19 800 ms, MT-WND 20 ms,
+  DIEN 30 ms (p99 tail latency).
+* Batch sizes: heavy-tail log-normal, clipped to an adaptive-batching cap.
+* Arrivals: Poisson.
+* Pools (Table 3): CANDLE/ResNet50/VGG19 homogeneous ``c5a``, diverse
+  ``(c5a, m5, t3)``; MT-WND/DIEN homogeneous ``g4dn``, diverse
+  ``(g4dn, c5, r5n)``.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import LatencyProfile, ModelCategory, ModelProfile
+
+_LP = LatencyProfile
+
+# ---------------------------------------------------------------------------
+# Recommendation models.  Service time is dominated by embedding-table
+# lookups (memory bound) on CPUs; the GPU has a higher dispatch overhead but
+# a much flatter slope, so it wins at large batch sizes (Fig. 3a).
+# ---------------------------------------------------------------------------
+
+MT_WND = ModelProfile(
+    name="MT-WND",
+    category=ModelCategory.RECOMMENDATION,
+    description=(
+        "Multi-Task Wide and Deep recommendation model (YouTube video "
+        "recommendation); parallel DNN predictors for CTR/rating."
+    ),
+    qos_target_ms=20.0,
+    profiles={
+        "g4dn": _LP(2.30, 0.050),
+        "c5": _LP(0.80, 0.098),
+        "c5a": _LP(0.85, 0.104),
+        "m5": _LP(0.90, 0.130),
+        "m5n": _LP(0.90, 0.125),
+        "r5": _LP(1.10, 0.150),
+        "r5n": _LP(1.00, 0.185),
+        "t3": _LP(1.20, 0.120),
+    },
+    arrival_rate_qps=880.0,
+    batch_median=30.0,
+    batch_sigma=0.8,
+    max_batch=256,
+    homogeneous_family="g4dn",
+    diverse_pool=("g4dn", "c5", "r5n"),
+    noise_sigma={
+        "g4dn": 0.05, "c5": 0.16, "c5a": 0.16, "m5": 0.10,
+        "m5n": 0.10, "r5": 0.12, "r5n": 0.12, "t3": 0.15,
+    },
+)
+
+DIEN = ModelProfile(
+    name="DIEN",
+    category=ModelCategory.RECOMMENDATION,
+    description=(
+        "Deep Interest Evolution Network (Alibaba e-commerce recommendation); "
+        "GRU-based sequence model over user behaviour."
+    ),
+    qos_target_ms=30.0,
+    profiles={
+        "g4dn": _LP(3.30, 0.073),
+        "c5": _LP(1.20, 0.152),
+        "c5a": _LP(1.25, 0.158),
+        "m5": _LP(1.30, 0.188),
+        "m5n": _LP(1.30, 0.182),
+        "r5": _LP(1.60, 0.215),
+        "r5n": _LP(1.40, 0.190),
+        "t3": _LP(1.70, 0.182),
+    },
+    arrival_rate_qps=550.0,
+    batch_median=30.0,
+    batch_sigma=0.8,
+    max_batch=256,
+    homogeneous_family="g4dn",
+    diverse_pool=("g4dn", "c5", "r5n"),
+    noise_sigma={
+        "g4dn": 0.05, "c5": 0.16, "c5a": 0.16, "m5": 0.10,
+        "m5n": 0.10, "r5": 0.12, "r5n": 0.12, "t3": 0.15,
+    },
+)
+
+# ---------------------------------------------------------------------------
+# General DNN/CNN models.  Compute bound: the compute-optimized c5a is the
+# best homogeneous choice on a $ basis; cheaper general-purpose and
+# burstable types can absorb small-batch queries (Sec. 3.2).
+# ---------------------------------------------------------------------------
+
+CANDLE = ModelProfile(
+    name="CANDLE",
+    category=ModelCategory.GENERAL,
+    description=(
+        "Large fully-connected DNN from the Cancer Distributed Learning "
+        "Environment; predicts tumor cell line response to drug pairs."
+    ),
+    qos_target_ms=40.0,
+    profiles={
+        "g4dn": _LP(3.00, 0.220),
+        "c5": _LP(1.55, 0.290),
+        "c5a": _LP(1.50, 0.280),
+        "m5": _LP(1.20, 0.390),
+        "m5n": _LP(1.20, 0.385),
+        "r5": _LP(1.40, 0.540),
+        "r5n": _LP(1.35, 0.520),
+        "t3": _LP(1.30, 0.480),
+    },
+    arrival_rate_qps=700.0,
+    batch_median=16.0,
+    batch_sigma=0.8,
+    max_batch=128,
+    homogeneous_family="c5a",
+    diverse_pool=("c5a", "m5", "t3"),
+    noise_sigma={
+        "g4dn": 0.05, "c5": 0.12, "c5a": 0.12, "m5": 0.10,
+        "m5n": 0.10, "r5": 0.12, "r5n": 0.12, "t3": 0.15,
+    },
+)
+
+RESNET50 = ModelProfile(
+    name="ResNet50",
+    category=ModelCategory.GENERAL,
+    description=(
+        "Residual CNN (Microsoft); image classification and object "
+        "detection backbone."
+    ),
+    qos_target_ms=400.0,
+    profiles={
+        "g4dn": _LP(20.0, 1.40),
+        "c5": _LP(15.5, 2.90),
+        "c5a": _LP(15.0, 2.80),
+        "m5": _LP(12.0, 4.00),
+        "m5n": _LP(12.0, 3.95),
+        "r5": _LP(14.0, 5.00),
+        "r5n": _LP(13.5, 4.80),
+        "t3": _LP(13.0, 4.50),
+    },
+    arrival_rate_qps=70.0,
+    batch_median=16.0,
+    batch_sigma=0.8,
+    max_batch=128,
+    homogeneous_family="c5a",
+    diverse_pool=("c5a", "m5", "t3"),
+    noise_sigma={
+        "g4dn": 0.05, "c5": 0.12, "c5a": 0.12, "m5": 0.10,
+        "m5n": 0.10, "r5": 0.12, "r5n": 0.12, "t3": 0.15,
+    },
+)
+
+VGG19 = ModelProfile(
+    name="VGG19",
+    category=ModelCategory.GENERAL,
+    description=(
+        "Very deep CNN (available on DLHub); image recognition workloads."
+    ),
+    qos_target_ms=800.0,
+    profiles={
+        "g4dn": _LP(35.0, 2.80),
+        "c5": _LP(31.0, 5.80),
+        "c5a": _LP(30.0, 5.60),
+        "m5": _LP(24.0, 8.00),
+        "m5n": _LP(24.0, 7.85),
+        "r5": _LP(28.0, 10.8),
+        "r5n": _LP(27.0, 10.4),
+        "t3": _LP(26.0, 9.60),
+    },
+    arrival_rate_qps=35.0,
+    batch_median=16.0,
+    batch_sigma=0.8,
+    max_batch=128,
+    homogeneous_family="c5a",
+    diverse_pool=("c5a", "m5", "t3"),
+    noise_sigma={
+        "g4dn": 0.05, "c5": 0.12, "c5a": 0.12, "m5": 0.10,
+        "m5n": 0.10, "r5": 0.12, "r5n": 0.12, "t3": 0.15,
+    },
+)
+
+#: All Table 1 models keyed by name.
+MODEL_ZOO: dict[str, ModelProfile] = {
+    m.name: m for m in (CANDLE, RESNET50, VGG19, MT_WND, DIEN)
+}
+
+
+def get_model(name: str) -> ModelProfile:
+    """Look up a Table 1 model by name (case-insensitive)."""
+    for key, model in MODEL_ZOO.items():
+        if key.lower() == name.lower():
+            return model
+    known = ", ".join(MODEL_ZOO)
+    raise KeyError(f"unknown model {name!r}; known models: {known}")

@@ -1,0 +1,30 @@
+"""Discrete-event simulator of a heterogeneous inference-serving pool.
+
+Queries arrive to a single FCFS queue and are dispatched to the *first
+available* instance, breaking ties in the pool's type order (Sec. 5.1 of the
+paper).  Two independently written engines are provided:
+
+* :class:`~repro.simulator.engine.InferenceServingSimulator` — the fast
+  arrival-order engine used everywhere (a query either starts immediately on
+  the first free instance in type order, or waits for the earliest-free
+  instance).
+* :class:`~repro.simulator.events.EventHeapSimulator` — an event-heap
+  reference implementation used to cross-validate the fast engine in the
+  test suite.
+
+Both report the same :class:`~repro.simulator.metrics.SimulationResult`
+figures of merit: end-to-end latency percentiles, QoS satisfaction rate,
+throughput, per-instance utilization, and queue-length statistics.
+"""
+
+from repro.simulator.pool import PoolConfiguration
+from repro.simulator.metrics import SimulationResult
+from repro.simulator.engine import InferenceServingSimulator
+from repro.simulator.events import EventHeapSimulator
+
+__all__ = [
+    "PoolConfiguration",
+    "SimulationResult",
+    "InferenceServingSimulator",
+    "EventHeapSimulator",
+]

@@ -1,0 +1,149 @@
+"""Fast FCFS heterogeneous-pool serving engine.
+
+The dispatch policy is the paper's (Sec. 5.1): queries are handled strictly
+in arrival order; each query goes to the *first available* instance, where
+"first" follows the pool's type order (Table 3).  If no instance is free at
+arrival, the query waits in a single FCFS queue for the earliest-free
+instance.
+
+Because service times do not depend on the dispatch instant, the whole
+simulation reduces to one pass over queries in arrival order, keeping a
+``free_at`` clock per instance:
+
+* if some instance is free at the arrival time, pick the lowest-index free
+  instance (instances are laid out in type order, so this is exactly the
+  type-order preference);
+* otherwise the query starts on ``argmin(free_at)`` at that instant.
+
+This is an exact simulation of the queueing system, not an approximation —
+the event-heap engine in :mod:`repro.simulator.events` independently verifies
+it in the test suite.
+
+Performance notes (per the profiling-first HPC guidance this repo follows):
+service times are precomputed vectorized per (type, query) before the loop;
+the per-query loop body does O(#instances) scalar work on small arrays,
+which profiles faster than numpy reductions at these sizes.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.models.base import ModelProfile
+from repro.simulator.metrics import SimulationResult
+from repro.simulator.pool import PoolConfiguration
+from repro.simulator.service import service_time_matrix
+from repro.workload.trace import QueryTrace
+
+
+class InferenceServingSimulator:
+    """Serves query traces on pool configurations for one model.
+
+    Parameters
+    ----------
+    model:
+        The model whose latency profiles define service times.
+    track_queue:
+        Record the waiting-queue length seen by every arrival (needed by the
+        load-change detector; a small constant overhead).
+    """
+
+    def __init__(self, model: ModelProfile, *, track_queue: bool = True):
+        self._model = model
+        self._track_queue = bool(track_queue)
+
+    @property
+    def model(self) -> ModelProfile:
+        return self._model
+
+    def simulate(
+        self, trace: QueryTrace, pool: PoolConfiguration
+    ) -> SimulationResult:
+        """Serve ``trace`` on ``pool`` and return the measured metrics.
+
+        Raises
+        ------
+        ValueError
+            If the pool is empty (no instance can serve) or a pool family has
+            no latency profile for this model.
+        """
+        if pool.is_empty():
+            raise ValueError(f"cannot serve on an empty pool {pool}")
+        for fam in pool.families:
+            if fam not in self._model.profiles:
+                raise KeyError(
+                    f"model {self._model.name!r} has no profile for {fam!r}"
+                )
+
+        n = len(trace)
+        type_of_instance, families = pool.expand()
+        n_instances = type_of_instance.size
+
+        # Vectorized precomputation: service time of every query on every
+        # pool dimension, shape (n_types, n), including latency noise.
+        service_by_type = service_time_matrix(self._model, trace, families)
+
+        arrivals = trace.arrival_s
+        free_at = np.zeros(n_instances, dtype=float)
+        busy = np.zeros(n_instances, dtype=float)
+        start_s = np.empty(n, dtype=float)
+        service_s = np.empty(n, dtype=float)
+        chosen = np.empty(n, dtype=np.int64)
+        queue_len = (
+            np.zeros(n, dtype=np.int64) if self._track_queue else np.empty(0)
+        )
+
+        # Pending-start times of queries still waiting, for queue-length
+        # tracking only (a ring of the last `n_instances`+queue entries).
+        pending_starts: list[float] = []
+
+        free_list = free_at.tolist()  # scalar loop is faster on plain lists
+        type_list = type_of_instance.tolist()
+        service_rows = [row.tolist() for row in service_by_type]
+        arrival_list = arrivals.tolist()
+        for q in range(n):
+            t = arrival_list[q]
+            # First free instance in type order, else earliest-free.
+            best_i = 0
+            best_free = free_list[0]
+            found_free = best_free <= t
+            if not found_free:
+                for i in range(1, n_instances):
+                    f = free_list[i]
+                    if f <= t:
+                        best_i, best_free, found_free = i, f, True
+                        break
+                    if f < best_free:
+                        best_i, best_free = i, f
+            start = t if found_free else best_free
+            s = service_rows[type_list[best_i]][q]
+            free_list[best_i] = start + s
+            busy[best_i] += s
+            start_s[q] = start
+            service_s[q] = s
+            chosen[q] = best_i
+            if self._track_queue:
+                # Queries that arrived earlier but have not started yet.
+                while pending_starts and pending_starts[0] <= t:
+                    pending_starts.pop(0)
+                queue_len[q] = len(pending_starts)
+                if start > t:
+                    # Keep sorted ascending by start time.
+                    bisect.insort(pending_starts, start)
+
+        wait_s = start_s - arrivals
+        latency_s = wait_s + service_s
+        makespan = float(max(free_list)) if n else 0.0
+        instance_family = tuple(families[i] for i in type_list)
+        return SimulationResult(
+            latency_s=latency_s,
+            wait_s=wait_s,
+            service_s=service_s,
+            instance_index=chosen,
+            instance_family=instance_family,
+            busy_s_per_instance=busy,
+            makespan_s=makespan,
+            queue_len_at_arrival=queue_len,
+        )

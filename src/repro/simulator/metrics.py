@@ -1,0 +1,148 @@
+"""Simulation results and figures of merit (Sec. 2 of the paper).
+
+The serving metrics Ribbon observes per configuration evaluation:
+
+* **QoS satisfaction rate** :math:`R_{sat}` — the fraction of queries whose
+  end-to-end latency (queue wait + service) is within the latency target.
+  The QoS is *met* when :math:`R_{sat} \\ge T_{qos}` (e.g. 99% of queries
+  within the p99 target).
+* **Tail latency** percentiles (p99 by default).
+* **Throughput**, per-instance **utilization**, and **queue length**
+  statistics (queue growth is the load-change detection signal of Sec. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of serving one trace on one pool configuration.
+
+    All latency arrays are in seconds and aligned with the trace's query
+    order.
+    """
+
+    latency_s: np.ndarray
+    wait_s: np.ndarray
+    service_s: np.ndarray
+    instance_index: np.ndarray
+    instance_family: tuple[str, ...]
+    busy_s_per_instance: np.ndarray
+    makespan_s: float
+    queue_len_at_arrival: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def __post_init__(self) -> None:
+        lat = np.asarray(self.latency_s, dtype=float)
+        if lat.ndim != 1:
+            raise ValueError("latency_s must be 1-D")
+        for name in ("wait_s", "service_s", "instance_index"):
+            arr = np.asarray(getattr(self, name))
+            if arr.shape != lat.shape:
+                raise ValueError(f"{name} shape {arr.shape} != {lat.shape}")
+        if np.any(lat < 0):
+            raise ValueError("latencies must be non-negative")
+
+    # -- core figures of merit ----------------------------------------------
+    def __len__(self) -> int:
+        return int(self.latency_s.size)
+
+    def qos_satisfaction_rate(self, target_ms: float) -> float:
+        """Fraction of queries with end-to-end latency <= ``target_ms``."""
+        if target_ms <= 0:
+            raise ValueError(f"target_ms must be positive, got {target_ms!r}")
+        if len(self) == 0:
+            return 1.0
+        return float(np.mean(self.latency_s * 1000.0 <= target_ms))
+
+    def meets_qos(self, target_ms: float, required_rate: float = 0.99) -> bool:
+        """True when at least ``required_rate`` of queries meet the target."""
+        if not 0.0 < required_rate <= 1.0:
+            raise ValueError(f"required_rate must be in (0,1], got {required_rate!r}")
+        return self.qos_satisfaction_rate(target_ms) >= required_rate
+
+    def latency_percentile_ms(self, q: float) -> float:
+        """q-th percentile of end-to-end latency, in milliseconds."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.percentile(self.latency_s, q) * 1000.0)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th percentile end-to-end latency (the default QoS metric)."""
+        return self.latency_percentile_ms(99.0)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean end-to-end latency in milliseconds."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self.latency_s) * 1000.0)
+
+    @property
+    def mean_wait_ms(self) -> float:
+        """Mean queueing delay in milliseconds."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self.wait_s) * 1000.0)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Served queries per second of simulated time."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return len(self) / self.makespan_s
+
+    # -- per-instance accounting ---------------------------------------------
+    def utilization(self) -> np.ndarray:
+        """Busy-time fraction per instance over the makespan."""
+        if self.makespan_s <= 0:
+            return np.zeros_like(self.busy_s_per_instance)
+        return self.busy_s_per_instance / self.makespan_s
+
+    def queries_per_family(self) -> dict[str, int]:
+        """How many queries each instance family served."""
+        counts: dict[str, int] = {fam: 0 for fam in self.instance_family}
+        fam_of_instance = self._family_of_instance()
+        for inst, n in zip(*np.unique(self.instance_index, return_counts=True)):
+            counts[fam_of_instance[int(inst)]] += int(n)
+        return counts
+
+    def family_share(self) -> dict[str, float]:
+        """Fraction of queries served by each family."""
+        total = max(len(self), 1)
+        return {f: n / total for f, n in self.queries_per_family().items()}
+
+    def _family_of_instance(self) -> list[str]:
+        # busy_s_per_instance is aligned with the expanded instance list;
+        # instance_family holds the family of each expanded slot.
+        return list(self.instance_family)
+
+    @property
+    def max_queue_length(self) -> int:
+        """Largest number of waiting queries observed at any arrival."""
+        if self.queue_len_at_arrival.size == 0:
+            return 0
+        return int(self.queue_len_at_arrival.max())
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Average waiting-queue length sampled at arrivals."""
+        if self.queue_len_at_arrival.size == 0:
+            return 0.0
+        return float(self.queue_len_at_arrival.mean())
+
+    def summary(self, target_ms: float | None = None) -> str:
+        """One-line human-readable summary (reporting aid)."""
+        parts = [
+            f"n={len(self)}",
+            f"p99={self.p99_ms:.2f}ms",
+            f"mean={self.mean_latency_ms:.2f}ms",
+            f"qps={self.throughput_qps:.1f}",
+        ]
+        if target_ms is not None:
+            parts.append(f"Rsat({target_ms:g}ms)={self.qos_satisfaction_rate(target_ms):.4f}")
+        return " ".join(parts)

@@ -1,0 +1,189 @@
+"""Pool configurations: the decision variable of the whole system.
+
+A :class:`PoolConfiguration` is the vector :math:`x = [x_1, ..., x_n]` of
+Eq. 2 — how many instances of each type the pool holds — together with the
+ordered tuple of instance families that defines both the search-space
+dimensions and the FCFS dispatch preference order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.catalog import DEFAULT_CATALOG, InstanceCatalog
+
+
+@dataclass(frozen=True)
+class PoolConfiguration:
+    """An ordered heterogeneous pool of cloud instances.
+
+    Parameters
+    ----------
+    families:
+        Instance family per dimension, e.g. ``("g4dn", "t3")``.  The order is
+        semantic: the FCFS dispatcher prefers earlier families when several
+        instances are free (Table 3 order).
+    counts:
+        Number of instances per family; same length as ``families``.
+    """
+
+    families: tuple[str, ...]
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        fams = tuple(self.families)
+        cnts = tuple(int(c) for c in self.counts)
+        if len(fams) != len(cnts):
+            raise ValueError(
+                f"families/counts length mismatch: {len(fams)} vs {len(cnts)}"
+            )
+        if len(set(fams)) != len(fams):
+            raise ValueError(f"duplicate families in pool: {fams}")
+        if not fams:
+            raise ValueError("pool must have at least one instance family")
+        if any(c < 0 for c in cnts):
+            raise ValueError(f"instance counts must be non-negative: {cnts}")
+        object.__setattr__(self, "families", fams)
+        object.__setattr__(self, "counts", cnts)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, family: str, count: int) -> "PoolConfiguration":
+        """A single-type pool (the baseline the paper improves upon)."""
+        return cls((family,), (count,))
+
+    @classmethod
+    def from_mapping(
+        cls, counts: Mapping[str, int], order: Sequence[str] | None = None
+    ) -> "PoolConfiguration":
+        """Build from ``{family: count}``; ``order`` fixes dimension order."""
+        fams = tuple(order) if order is not None else tuple(counts)
+        return cls(fams, tuple(counts.get(f, 0) for f in fams))
+
+    # -- views -------------------------------------------------------------
+    @property
+    def total_instances(self) -> int:
+        """Total number of instances across all types."""
+        return sum(self.counts)
+
+    def as_vector(self) -> np.ndarray:
+        """The configuration as an integer numpy vector."""
+        return np.asarray(self.counts, dtype=np.int64)
+
+    def as_mapping(self) -> dict[str, int]:
+        """The configuration as ``{family: count}``."""
+        return dict(zip(self.families, self.counts))
+
+    def is_empty(self) -> bool:
+        """True when the pool has no instances at all."""
+        return self.total_instances == 0
+
+    def expand(self) -> tuple[np.ndarray, tuple[str, ...]]:
+        """Per-instance family indices in dispatch-preference order.
+
+        Returns ``(type_index, families)`` where ``type_index[k]`` is the
+        dimension index of the k-th instance; instances of earlier families
+        come first, which makes "lowest index among free instances" equal to
+        "first free instance in type order".
+        """
+        idx = np.repeat(np.arange(len(self.families)), self.counts)
+        return idx, self.families
+
+    # -- cost ---------------------------------------------------------------
+    def hourly_cost(self, catalog: InstanceCatalog = DEFAULT_CATALOG) -> float:
+        """Total pool price in $/hour."""
+        return float(
+            sum(catalog[f].price_per_hour * c for f, c in zip(self.families, self.counts))
+        )
+
+    # -- partial order (dominance, used by pruning) --------------------------
+    def dominates_or_equal(self, other: "PoolConfiguration") -> bool:
+        """True when every count is >= the other's (same families/order).
+
+        If ``self`` violates QoS by a margin, every configuration it
+        dominates (component-wise <=) must violate too (Sec. 4, active
+        pruning).
+        """
+        self._check_compatible(other)
+        return all(a >= b for a, b in zip(self.counts, other.counts))
+
+    def _check_compatible(self, other: "PoolConfiguration") -> None:
+        if self.families != other.families:
+            raise ValueError(
+                f"pool family mismatch: {self.families} vs {other.families}"
+            )
+
+    # -- neighbourhood (used by hill climbing) -------------------------------
+    def neighbors(
+        self, bounds: Sequence[int] | None = None
+    ) -> list["PoolConfiguration"]:
+        """All configurations one instance away (+-1 in one dimension).
+
+        ``bounds`` caps each dimension; counts never go below zero, and the
+        all-zero pool is excluded.
+        """
+        out: list[PoolConfiguration] = []
+        for dim in range(len(self.counts)):
+            for delta in (-1, +1):
+                cnt = list(self.counts)
+                cnt[dim] += delta
+                if cnt[dim] < 0:
+                    continue
+                if bounds is not None and cnt[dim] > bounds[dim]:
+                    continue
+                if sum(cnt) == 0:
+                    continue
+                out.append(PoolConfiguration(self.families, tuple(cnt)))
+        return out
+
+    def with_count(self, family: str, count: int) -> "PoolConfiguration":
+        """Copy with one family's count replaced."""
+        if family not in self.families:
+            raise KeyError(f"family {family!r} not in pool {self.families}")
+        cnt = tuple(
+            count if f == family else c for f, c in zip(self.families, self.counts)
+        )
+        return PoolConfiguration(self.families, cnt)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = " + ".join(f"{c} {f}" for f, c in zip(self.families, self.counts))
+        return f"({inner})"
+
+
+def enumerate_grid(
+    families: Sequence[str], bounds: Sequence[int]
+) -> list[PoolConfiguration]:
+    """Every configuration with ``0 <= x_i <= bounds[i]`` except all-zero.
+
+    The full discrete search space of Sec. 4; used by exhaustive search and
+    by the grid-based acquisition maximizer.
+    """
+    if len(families) != len(bounds):
+        raise ValueError("families/bounds length mismatch")
+    if any(b < 0 for b in bounds):
+        raise ValueError(f"bounds must be non-negative: {bounds}")
+    grids = np.meshgrid(*[np.arange(b + 1) for b in bounds], indexing="ij")
+    flat = np.stack([g.ravel() for g in grids], axis=1)
+    fams = tuple(families)
+    return [
+        PoolConfiguration(fams, tuple(int(v) for v in row))
+        for row in flat
+        if row.sum() > 0
+    ]
+
+
+def grid_vectors(bounds: Sequence[int]) -> np.ndarray:
+    """Integer grid as an ``(m, n)`` array (all-zero row excluded)."""
+    grids = np.meshgrid(*[np.arange(b + 1) for b in bounds], indexing="ij")
+    flat = np.stack([g.ravel() for g in grids], axis=1).astype(np.int64)
+    return flat[flat.sum(axis=1) > 0]
+
+
+def pool_from_vector(
+    families: Sequence[str], vector: Iterable[int]
+) -> PoolConfiguration:
+    """Inverse of :meth:`PoolConfiguration.as_vector`."""
+    return PoolConfiguration(tuple(families), tuple(int(v) for v in vector))

@@ -1,0 +1,61 @@
+"""Service-time generation shared by both simulation engines.
+
+Service time = affine profile latency x multiplicative log-normal noise.
+The noise models run-to-run inference latency variability (co-tenancy,
+burstable-CPU credit throttling, GC/interrupt jitter), which real serving
+systems exhibit and which disproportionately inflates the *tail* of
+instances whose nominal latency already sits close to the QoS target —
+exactly the mechanism that limits how much load cheap instance types can
+absorb before breaking the p99.
+
+Noise is generated deterministically from the trace seed and the family
+index (common random numbers): a given (trace, pool-families) pair always
+produces the same service-time matrix, so configuration evaluations are
+reproducible and identical across the fast and reference engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import ModelProfile
+from repro.workload.trace import QueryTrace
+
+
+def service_time_matrix(
+    model: ModelProfile,
+    trace: QueryTrace,
+    families: tuple[str, ...],
+) -> np.ndarray:
+    """Per-(family, query) service times in seconds, shape ``(n_fam, n)``.
+
+    Row ``i`` holds the service time of every trace query if served on
+    family ``families[i]``, including that family's latency noise.
+    """
+    n = len(trace)
+    out = np.empty((len(families), n), dtype=float)
+    base_seed = trace.seed if trace.seed is not None else 0
+    for i, fam in enumerate(families):
+        nominal = np.asarray(model.service_time_s(fam, trace.batch_sizes))
+        sigma = model.noise_sigma_for(fam)
+        if sigma > 0.0:
+            # Keyed on (trace seed, family name) so the same family gets the
+            # same noise regardless of its position in the pool vector.
+            rng = np.random.default_rng(
+                np.array(
+                    [base_seed & 0xFFFFFFFF, _family_key(fam)], dtype=np.uint32
+                )
+            )
+            noise = rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=n)
+            out[i] = nominal * noise
+        else:
+            out[i] = nominal
+    return out
+
+
+def _family_key(family: str) -> int:
+    """Stable 32-bit key for a family name (independent of PYTHONHASHSEED)."""
+    key = 2166136261
+    for ch in family.encode():
+        key = ((key ^ ch) * 16777619) & 0xFFFFFFFF
+    return key

@@ -1,0 +1,36 @@
+"""Query stream generation substrate (Sec. 5.1 methodology).
+
+Production inference traffic is emulated the way the paper does:
+
+* **Inter-arrival times** follow a Poisson process (exponential gaps).
+* **Batch sizes** follow a heavy-tail log-normal distribution by default
+  (the DeepRecSys-style trace behaviour); a Gaussian alternative is provided
+  for the Fig. 11 robustness experiment, and a fixed distribution for
+  characterization sweeps (Fig. 3).
+
+All generators are seeded and fully reproducible so that configuration
+evaluations use common random numbers — the QoS satisfaction rate of a pool
+configuration is then a deterministic function of the configuration, which is
+what the paper's "costly evaluation" black box looks like to the optimizer.
+"""
+
+from repro.workload.arrival import ArrivalProcess, PoissonArrivalProcess
+from repro.workload.batch import (
+    BatchSizeDistribution,
+    FixedBatch,
+    GaussianBatch,
+    HeavyTailLogNormalBatch,
+)
+from repro.workload.trace import QueryTrace, TraceGenerator, trace_for_model
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivalProcess",
+    "BatchSizeDistribution",
+    "HeavyTailLogNormalBatch",
+    "GaussianBatch",
+    "FixedBatch",
+    "QueryTrace",
+    "TraceGenerator",
+    "trace_for_model",
+]

@@ -1,0 +1,136 @@
+"""Query arrival processes.
+
+The paper's evaluation uses Poisson inter-arrival times (Sec. 5.1), the
+standard model for open-loop inference service load.  The abstraction allows
+alternative processes (e.g. bursty Markov-modulated Poisson) for extension
+studies.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates absolute query arrival timestamps (seconds)."""
+
+    @property
+    @abc.abstractmethod
+    def rate_qps(self) -> float:
+        """Long-run mean arrival rate (queries per second)."""
+
+    @abc.abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``n`` sorted arrival times starting near zero."""
+
+    @abc.abstractmethod
+    def scaled(self, factor: float) -> "ArrivalProcess":
+        """A new process with the arrival rate multiplied by ``factor``.
+
+        Load fluctuation experiments (Fig. 16) apply a 1.5x step this way.
+        """
+
+
+class PoissonArrivalProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate_qps`` queries/second."""
+
+    def __init__(self, rate_qps: float):
+        if rate_qps <= 0:
+            raise ValueError(f"rate_qps must be positive, got {rate_qps!r}")
+        self._rate = float(rate_qps)
+
+    @property
+    def rate_qps(self) -> float:
+        return self._rate
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        gaps = rng.exponential(scale=1.0 / self._rate, size=n)
+        return np.cumsum(gaps)
+
+    def scaled(self, factor: float) -> "PoissonArrivalProcess":
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor!r}")
+        return PoissonArrivalProcess(self._rate * factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PoissonArrivalProcess(rate_qps={self._rate!r})"
+
+
+class MarkovModulatedPoissonProcess(ArrivalProcess):
+    """Two-state bursty arrival process (extension beyond the paper).
+
+    Alternates between a *base* state and a *burst* state with
+    exponentially distributed sojourn times; arrivals within each state are
+    Poisson.  Useful for stress-testing the load-adaptation logic with
+    traffic that is burstier than the paper's Poisson assumption.
+    """
+
+    def __init__(
+        self,
+        base_rate_qps: float,
+        burst_rate_qps: float,
+        mean_base_s: float = 5.0,
+        mean_burst_s: float = 1.0,
+    ):
+        if base_rate_qps <= 0 or burst_rate_qps <= 0:
+            raise ValueError("rates must be positive")
+        if burst_rate_qps < base_rate_qps:
+            raise ValueError("burst rate must be >= base rate")
+        if mean_base_s <= 0 or mean_burst_s <= 0:
+            raise ValueError("mean sojourn times must be positive")
+        self._base = float(base_rate_qps)
+        self._burst = float(burst_rate_qps)
+        self._mean_base = float(mean_base_s)
+        self._mean_burst = float(mean_burst_s)
+
+    @property
+    def rate_qps(self) -> float:
+        # Long-run average: time-weighted mixture of the two state rates.
+        wb = self._mean_base
+        wu = self._mean_burst
+        return (self._base * wb + self._burst * wu) / (wb + wu)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        times = np.empty(n, dtype=float)
+        t = 0.0
+        in_burst = False
+        state_end = rng.exponential(self._mean_base)
+        produced = 0
+        while produced < n:
+            rate = self._burst if in_burst else self._base
+            gap = rng.exponential(1.0 / rate)
+            if t + gap >= state_end:
+                # Jump to the state boundary and flip state; no arrival is
+                # emitted for the truncated gap (memorylessness makes this
+                # statistically equivalent to restarting the exponential).
+                t = state_end
+                in_burst = not in_burst
+                mean = self._mean_burst if in_burst else self._mean_base
+                state_end = t + rng.exponential(mean)
+                continue
+            t += gap
+            times[produced] = t
+            produced += 1
+        return times
+
+    def scaled(self, factor: float) -> "MarkovModulatedPoissonProcess":
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor!r}")
+        return MarkovModulatedPoissonProcess(
+            self._base * factor,
+            self._burst * factor,
+            self._mean_base,
+            self._mean_burst,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MarkovModulatedPoissonProcess(base={self._base!r}, "
+            f"burst={self._burst!r})"
+        )

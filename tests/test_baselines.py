@@ -1,0 +1,185 @@
+"""Integration tests for the competing search strategies (Sec. 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveSearch, find_optimal_configuration
+from repro.baselines.hill_climb import HillClimb
+from repro.baselines.random_search import RandomSearch
+from repro.baselines.rsm import ResponseSurface, ccf_design
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.objective import RibbonObjective
+from repro.core.search_space import SearchSpace
+from tests.conftest import make_toy_model, make_toy_trace
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    model = make_toy_model(arrival_rate_qps=400.0)
+    trace = make_toy_trace(model, n=600, seed=5)
+    space = SearchSpace(("g4dn", "t3"), (4, 6))
+    objective = RibbonObjective(space, qos_rate_target=0.95)
+    shared = ConfigurationEvaluator(model, trace, objective)
+    truth = find_optimal_configuration(shared)
+    return model, trace, space, objective, truth
+
+
+def fresh_evaluator(ctx):
+    model, trace, space, objective, _ = ctx
+    return ConfigurationEvaluator(model, trace, objective)
+
+
+class TestExhaustive:
+    def test_accelerated_matches_full_sweep(self, ctx):
+        *_, truth = ctx
+        full = ExhaustiveSearch(accelerate=False, stop_at_first=False).search(
+            fresh_evaluator(ctx)
+        )
+        assert full.best is not None
+        assert full.best.cost_per_hour == pytest.approx(truth.cost_per_hour)
+
+    def test_accelerated_uses_fewer_samples(self, ctx):
+        fast = ExhaustiveSearch().search(fresh_evaluator(ctx))
+        slow = ExhaustiveSearch(accelerate=False, stop_at_first=False).search(
+            fresh_evaluator(ctx)
+        )
+        assert fast.n_samples < slow.n_samples
+
+    def test_full_sweep_covers_entire_grid(self, ctx):
+        _, _, space, *_ = ctx
+        res = ExhaustiveSearch(accelerate=False, stop_at_first=False).search(
+            fresh_evaluator(ctx)
+        )
+        assert res.n_samples == space.n_configurations
+
+    def test_first_satisfier_in_cost_order_is_optimum(self, ctx):
+        *_, truth = ctx
+        res = ExhaustiveSearch().search(fresh_evaluator(ctx))
+        meeting = [r for r in res.history if r.meets_qos]
+        assert len(meeting) == 1
+        assert meeting[0].cost_per_hour == pytest.approx(truth.cost_per_hour)
+
+
+class TestRandom:
+    def test_finds_optimum_with_generous_budget(self, ctx):
+        *_, truth = ctx
+        res = RandomSearch(max_samples=200, seed=0).search(fresh_evaluator(ctx))
+        assert res.best is not None
+        assert res.best.cost_per_hour <= truth.cost_per_hour + 1e-9
+
+    def test_skip_rules_prevent_dominated_samples(self, ctx):
+        res = RandomSearch(max_samples=200, seed=1).search(fresh_evaluator(ctx))
+        history = res.history
+        for i, rec in enumerate(history):
+            vec = np.asarray(rec.pool.counts)
+            for prev in history[:i]:
+                pvec = np.asarray(prev.pool.counts)
+                if not prev.meets_qos and np.all(vec <= pvec):
+                    pytest.fail(
+                        f"sampled {rec.pool} despite dominating violator {prev.pool}"
+                    )
+                if prev.meets_qos and np.all(pvec <= vec) and not np.array_equal(pvec, vec):
+                    pytest.fail(
+                        f"sampled {rec.pool} despite cheaper satisfier {prev.pool}"
+                    )
+
+    def test_deterministic_given_seed(self, ctx):
+        r1 = RandomSearch(max_samples=30, seed=7).search(fresh_evaluator(ctx))
+        r2 = RandomSearch(max_samples=30, seed=7).search(fresh_evaluator(ctx))
+        assert [r.pool.counts for r in r1.history] == [
+            r.pool.counts for r in r2.history
+        ]
+
+
+class TestHillClimb:
+    def test_finds_optimum(self, ctx):
+        *_, truth = ctx
+        res = HillClimb(max_samples=150, seed=0).search(fresh_evaluator(ctx))
+        assert res.best is not None
+        assert res.best.cost_per_hour == pytest.approx(truth.cost_per_hour)
+
+    def test_moves_are_single_steps_until_restart(self, ctx):
+        res = HillClimb(max_samples=60, seed=0, max_restarts=0).search(
+            fresh_evaluator(ctx)
+        )
+        # Without restarts every consecutive evaluated pair differs by
+        # at most 1 in one dimension from *some* earlier sample (greedy
+        # neighborhood probing); weaker sanity: history non-empty, ends.
+        assert res.n_samples >= 1
+
+    def test_restart_escapes_local_optimum(self, ctx):
+        with_restarts = HillClimb(max_samples=150, seed=3, max_restarts=20).search(
+            fresh_evaluator(ctx)
+        )
+        without = HillClimb(max_samples=150, seed=3, max_restarts=0).search(
+            fresh_evaluator(ctx)
+        )
+        assert with_restarts.best_cost <= without.best_cost + 1e-9
+
+    def test_invalid_restarts_rejected(self):
+        with pytest.raises(ValueError):
+            HillClimb(max_restarts=-1)
+
+
+class TestRSMDesign:
+    def test_ccf_point_count_3_factors(self):
+        # 2^3 corners + 2*3 face centers + 1 center = 15 (minus overlaps/origin).
+        pts = ccf_design((4, 4, 4))
+        assert len(pts) == 2**3 + 2 * 3 + 1 - 1  # origin corner dropped
+        assert all(len(p) == 3 for p in pts)
+
+    def test_levels_are_low_mid_high(self):
+        pts = ccf_design((4, 6))
+        values = {p[0] for p in pts}
+        assert values <= {0, 2, 4}
+        values_y = {p[1] for p in pts}
+        assert values_y <= {0, 3, 6}
+
+    def test_origin_excluded(self):
+        assert all(sum(p) > 0 for p in ccf_design((3, 3)))
+
+    def test_no_duplicates(self):
+        pts = ccf_design((2, 2))
+        assert len(pts) == len(set(pts))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ccf_design((0,))
+
+
+class TestRSMSearch:
+    def test_finds_optimum(self, ctx):
+        *_, truth = ctx
+        res = ResponseSurface(max_samples=150, seed=0).search(fresh_evaluator(ctx))
+        assert res.best is not None
+        assert res.best.cost_per_hour <= truth.cost_per_hour * 1.2 + 1e-9
+
+    def test_design_points_sampled_first(self, ctx):
+        _, _, space, *_ = ctx
+        res = ResponseSurface(max_samples=150, seed=0).search(fresh_evaluator(ctx))
+        design = ccf_design(space.bounds)
+        first = [r.pool.counts for r in res.history[: len(design)]]
+        assert first == design
+
+
+class TestComparative:
+    def test_ribbon_converges_fastest_on_average(self, ctx):
+        """The paper's headline (Fig. 10): Ribbon needs fewest samples."""
+        from repro.core.optimizer import RibbonOptimizer
+
+        *_, truth = ctx
+        target = truth.cost_per_hour
+        cap = 80
+
+        def mean_samples(make):
+            vals = []
+            for seed in (0, 1, 2):
+                res = make(seed).search(fresh_evaluator(ctx))
+                vals.append(res.samples_to_cost(target) or cap)
+            return sum(vals) / len(vals)
+
+        ribbon = mean_samples(lambda s: RibbonOptimizer(max_samples=40, seed=s, patience=None))
+        random_ = mean_samples(lambda s: RandomSearch(max_samples=cap, seed=s))
+        hill = mean_samples(lambda s: HillClimb(max_samples=cap, seed=s))
+        assert ribbon <= random_ + 1e-9
+        assert ribbon <= hill + 1e-9

@@ -1,0 +1,37 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig9_defaults(self):
+        args = build_parser().parse_args(["fig9"])
+        assert args.queries == 4000
+        assert not args.gaussian
+
+    def test_search_args(self):
+        args = build_parser().parse_args(["search", "MT-WND", "--samples", "10"])
+        assert args.model == "MT-WND"
+        assert args.samples == 10
+
+
+class TestCommands:
+    def test_fig4_prints_table(self, capsys):
+        assert main(["fig4", "--queries", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "(3 + 4)" in out
+        assert "meets" in out and "violates" in out
+
+    def test_search_reports_best(self, capsys):
+        rc = main(["search", "MT-WND", "--queries", "2500", "--samples", "15"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RIBBON" in out
+        assert "homogeneous baseline" in out

@@ -1,0 +1,159 @@
+"""Unit tests for the cloud instance catalog and pricing substrate."""
+
+import pytest
+
+from repro.cloud.catalog import DEFAULT_CATALOG, InstanceCatalog, get_instance
+from repro.cloud.instance_types import InstanceCategory, InstanceSpec
+from repro.cloud.pricing import (
+    cost_effectiveness,
+    hourly_pool_cost,
+    normalized_cost,
+)
+
+
+def spec(**overrides) -> InstanceSpec:
+    base = dict(
+        name="x1.large",
+        family="x1",
+        size="large",
+        category=InstanceCategory.GENERAL_PURPOSE,
+        vcpus=2,
+        memory_gib=8.0,
+        price_per_hour=0.10,
+    )
+    base.update(overrides)
+    return InstanceSpec(**base)
+
+
+class TestInstanceSpec:
+    def test_basic_construction(self):
+        s = spec()
+        assert s.name == "x1.large"
+        assert s.price_per_second == pytest.approx(0.10 / 3600.0)
+
+    def test_cost_for_hours(self):
+        assert spec().cost_for(2.5) == pytest.approx(0.25)
+
+    def test_cost_for_negative_hours_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spec().cost_for(-1.0)
+
+    def test_nonpositive_price_rejected(self):
+        with pytest.raises(ValueError, match="price_per_hour"):
+            spec(price_per_hour=0.0)
+
+    def test_nonpositive_vcpus_rejected(self):
+        with pytest.raises(ValueError, match="vcpus"):
+            spec(vcpus=0)
+
+    def test_nonpositive_memory_rejected(self):
+        with pytest.raises(ValueError, match="memory_gib"):
+            spec(memory_gib=0.0)
+
+    def test_bad_hardware_scores_rejected(self):
+        with pytest.raises(ValueError, match="scores"):
+            spec(compute_score=0.0)
+
+    def test_name_family_size_consistency(self):
+        with pytest.raises(ValueError, match="does not match"):
+            spec(name="y1.large")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            spec().price_per_hour = 1.0
+
+
+class TestDefaultCatalog:
+    def test_contains_all_table2_families(self):
+        assert set(DEFAULT_CATALOG.families) == {
+            "t3", "m5", "m5n", "c5", "c5a", "r5", "r5n", "g4dn",
+        }
+
+    def test_g4dn_is_the_only_gpu(self):
+        gpus = [f for f in DEFAULT_CATALOG if DEFAULT_CATALOG[f].gpu]
+        assert gpus == ["g4dn"]
+
+    def test_g4dn_is_most_expensive(self):
+        assert DEFAULT_CATALOG.most_expensive().family == "g4dn"
+
+    def test_r5_is_cheapest(self):
+        assert DEFAULT_CATALOG.cheapest().family == "r5"
+
+    def test_categories_match_table2(self):
+        cat = DEFAULT_CATALOG
+        assert cat["c5"].category is InstanceCategory.COMPUTE_OPTIMIZED
+        assert cat["c5a"].category is InstanceCategory.COMPUTE_OPTIMIZED
+        assert cat["r5"].category is InstanceCategory.MEMORY_OPTIMIZED
+        assert cat["t3"].category is InstanceCategory.GENERAL_PURPOSE
+        assert cat["g4dn"].category is InstanceCategory.ACCELERATOR
+
+    def test_by_category(self):
+        general = DEFAULT_CATALOG.by_category(InstanceCategory.GENERAL_PURPOSE)
+        assert {s.family for s in general} == {"t3", "m5", "m5n"}
+
+    def test_unknown_family_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="known families"):
+            DEFAULT_CATALOG["p3"]
+
+    def test_get_instance_helper(self):
+        assert get_instance("g4dn").name == "g4dn.xlarge"
+
+    def test_price_vector_order(self):
+        prices = DEFAULT_CATALOG.price_vector(["g4dn", "t3"])
+        assert prices == (
+            DEFAULT_CATALOG["g4dn"].price_per_hour,
+            DEFAULT_CATALOG["t3"].price_per_hour,
+        )
+
+    def test_subset_preserves_order(self):
+        sub = DEFAULT_CATALOG.subset(["r5n", "c5"])
+        assert sub.families == ("r5n", "c5")
+
+    def test_mapping_protocol(self):
+        assert len(DEFAULT_CATALOG) == 8
+        assert "g4dn" in DEFAULT_CATALOG
+
+
+class TestCatalogConstruction:
+    def test_duplicate_family_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            InstanceCatalog([spec(), spec()])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            InstanceCatalog([])
+
+
+class TestPricing:
+    def test_cost_effectiveness_eq1(self):
+        # 100 QPS at $0.5/hr -> 3600 * 100 / 0.5 = 720000 queries per dollar.
+        assert cost_effectiveness(100.0, 0.5) == pytest.approx(720_000.0)
+
+    def test_cost_effectiveness_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            cost_effectiveness(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            cost_effectiveness(1.0, 0.0)
+
+    def test_hourly_pool_cost(self):
+        cost = hourly_pool_cost({"g4dn": 2, "t3": 3})
+        expected = 2 * 0.526 + 3 * 0.1664
+        assert cost == pytest.approx(expected)
+
+    def test_hourly_pool_cost_zero_counts_ok(self):
+        assert hourly_pool_cost({"g4dn": 0}) == 0.0
+
+    def test_hourly_pool_cost_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            hourly_pool_cost({"g4dn": -1})
+
+    def test_normalized_cost_bounds(self):
+        bounds = {"g4dn": 5, "t3": 12}
+        assert normalized_cost({"g4dn": 0, "t3": 0}, bounds) == 0.0
+        assert normalized_cost(bounds, bounds) == pytest.approx(1.0)
+        mid = normalized_cost({"g4dn": 2, "t3": 6}, bounds)
+        assert 0.0 < mid < 1.0
+
+    def test_normalized_cost_empty_bounds_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            normalized_cost({"g4dn": 1}, {"g4dn": 0})

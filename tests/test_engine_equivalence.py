@@ -1,0 +1,78 @@
+"""Cross-validation: the fast engine against the event-heap reference.
+
+The fast engine relies on a reduction argument (service time independent of
+dispatch instant => one pass in arrival order is exact).  These property
+tests assert both engines produce identical per-query latencies on random
+workloads and pools, including with service-time noise.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.engine import InferenceServingSimulator
+from repro.simulator.events import EventHeapSimulator
+from repro.simulator.pool import PoolConfiguration
+from repro.workload.trace import QueryTrace
+from tests.conftest import make_toy_model
+
+
+def random_trace(seed: int, n: int) -> QueryTrace:
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / 300.0, size=n))
+    batches = np.clip(
+        np.rint(rng.lognormal(np.log(30.0), 0.8, size=n)), 1, 256
+    ).astype(np.int64)
+    return QueryTrace(arrivals, batches, rate_qps=300.0, seed=seed)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=1, max_value=300),
+    g=st.integers(min_value=0, max_value=3),
+    t=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_engines_agree_on_random_workloads(seed, n, g, t):
+    if g + t == 0:
+        g = 1
+    model = make_toy_model()
+    trace = random_trace(seed, n)
+    pool = PoolConfiguration(("g4dn", "t3"), (g, t))
+    fast = InferenceServingSimulator(model).simulate(trace, pool)
+    ref = EventHeapSimulator(model).simulate(trace, pool)
+    np.testing.assert_allclose(fast.latency_s, ref.latency_s, rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(fast.wait_s, ref.wait_s, rtol=1e-12, atol=1e-12)
+    assert fast.makespan_s == ref.makespan_s
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_engines_agree_with_noise(seed):
+    model = make_toy_model(noise={"g4dn": 0.1, "t3": 0.25})
+    trace = random_trace(seed, 200)
+    pool = PoolConfiguration(("g4dn", "t3"), (2, 3))
+    fast = InferenceServingSimulator(model).simulate(trace, pool)
+    ref = EventHeapSimulator(model).simulate(trace, pool)
+    np.testing.assert_allclose(fast.latency_s, ref.latency_s, rtol=1e-12, atol=1e-12)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_engines_agree_on_queue_lengths(seed):
+    model = make_toy_model()
+    trace = random_trace(seed, 250)
+    pool = PoolConfiguration(("g4dn", "t3"), (1, 1))  # overloaded -> queueing
+    fast = InferenceServingSimulator(model, track_queue=True).simulate(trace, pool)
+    ref = EventHeapSimulator(model).simulate(trace, pool)
+    np.testing.assert_array_equal(fast.queue_len_at_arrival, ref.queue_len_at_arrival)
+
+
+def test_three_type_pool_equivalence():
+    model = make_toy_model()
+    trace = random_trace(123, 400)
+    pool = PoolConfiguration(("g4dn", "c5", "t3"), (1, 2, 2))
+    fast = InferenceServingSimulator(model).simulate(trace, pool)
+    ref = EventHeapSimulator(model).simulate(trace, pool)
+    np.testing.assert_allclose(fast.latency_s, ref.latency_s, rtol=1e-12, atol=1e-12)
+    assert fast.queries_per_family() == ref.queries_per_family()

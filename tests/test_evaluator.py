@@ -1,0 +1,108 @@
+"""Unit tests for the configuration evaluator (caching + accounting)."""
+
+import pytest
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.objective import RibbonObjective
+from repro.simulator.pool import PoolConfiguration
+from repro.workload.trace import trace_for_model
+
+
+class TestEvaluation:
+    def test_record_fields_consistent(self, toy_evaluator, toy_space):
+        rec = toy_evaluator.evaluate(toy_space.pool((2, 2)))
+        assert rec.pool.counts == (2, 2)
+        assert 0.0 <= rec.qos_rate <= 1.0
+        assert rec.cost_per_hour == pytest.approx(2 * 0.526 + 2 * 0.1664)
+        assert rec.objective == pytest.approx(
+            toy_evaluator.objective.value((2, 2), rec.qos_rate)
+        )
+        assert rec.meets_qos == (rec.qos_rate >= 0.95)
+
+    def test_caching_is_free(self, toy_evaluator, toy_space):
+        pool = toy_space.pool((2, 2))
+        r1 = toy_evaluator.evaluate(pool)
+        n = toy_evaluator.n_evaluations
+        r2 = toy_evaluator.evaluate(pool)
+        assert toy_evaluator.n_evaluations == n
+        assert r1 is r2
+
+    def test_history_order_and_sample_index(self, toy_evaluator, toy_space):
+        toy_evaluator.evaluate(toy_space.pool((1, 0)))
+        toy_evaluator.evaluate(toy_space.pool((0, 3)))
+        hist = toy_evaluator.history
+        assert [r.sample_index for r in hist] == [0, 1]
+        assert hist[0].pool.counts == (1, 0)
+
+    def test_empty_pool_synthetic_record(self, toy_evaluator, toy_space):
+        rec = toy_evaluator.evaluate(toy_space.pool((0, 0)))
+        assert rec.qos_rate == 0.0
+        assert not rec.meets_qos
+        assert rec.cost_per_hour == 0.0
+
+    def test_family_mismatch_rejected(self, toy_evaluator):
+        with pytest.raises(ValueError, match="families"):
+            toy_evaluator.evaluate(PoolConfiguration(("g4dn", "c5"), (1, 1)))
+
+    def test_violating_counter(self, toy_evaluator, toy_space):
+        toy_evaluator.evaluate(toy_space.pool((0, 1)))  # hopeless -> violates
+        toy_evaluator.evaluate(toy_space.pool((4, 6)))  # max pool -> meets
+        assert toy_evaluator.n_violating_evaluations == 1
+
+    def test_best_satisfying_cheapest(self, toy_evaluator, toy_space):
+        assert toy_evaluator.best_satisfying() is None
+        toy_evaluator.evaluate(toy_space.pool((4, 6)))
+        toy_evaluator.evaluate(toy_space.pool((4, 0)))
+        best = toy_evaluator.best_satisfying()
+        assert best is not None
+        # The cheapest of the satisfying records evaluated so far.
+        satisfying = [r for r in toy_evaluator.history if r.meets_qos]
+        assert best.cost_per_hour == min(r.cost_per_hour for r in satisfying)
+
+
+class TestAccounting:
+    def test_exploration_cost_accumulates(self, toy_evaluator, toy_space):
+        assert toy_evaluator.exploration_cost_dollars == 0.0
+        toy_evaluator.evaluate(toy_space.pool((2, 2)))
+        expected = (2 * 0.526 + 2 * 0.1664) * (
+            toy_evaluator.trace.duration_s / 3600.0
+        )
+        assert toy_evaluator.exploration_cost_dollars == pytest.approx(expected)
+
+    def test_exhaustive_cost_covers_whole_grid(self, toy_evaluator, toy_space):
+        total = toy_evaluator.exhaustive_cost_dollars()
+        eval_hours = toy_evaluator.trace.duration_s / 3600.0
+        grid = toy_space.grid()
+        expected = float((grid @ toy_space.prices).sum()) * eval_hours
+        assert total == pytest.approx(expected)
+
+    def test_custom_eval_duration(self, toy_model, toy_trace, toy_space):
+        obj = RibbonObjective(toy_space, 0.95)
+        ev = ConfigurationEvaluator(
+            toy_model, toy_trace, obj, eval_duration_hours=2.0
+        )
+        ev.evaluate(toy_space.pool((1, 0)))
+        assert ev.exploration_cost_dollars == pytest.approx(0.526 * 2.0)
+
+    def test_peek_does_not_evaluate(self, toy_evaluator, toy_space):
+        pool = toy_space.pool((1, 1))
+        assert toy_evaluator.peek(pool) is None
+        toy_evaluator.evaluate(pool)
+        assert toy_evaluator.peek(pool) is not None
+
+
+class TestFork:
+    def test_fork_uses_new_trace_and_fresh_cache(self, toy_evaluator, toy_model):
+        heavier = trace_for_model(toy_model, n_queries=300, seed=9, load_factor=1.5)
+        forked = toy_evaluator.fork(heavier)
+        assert forked.trace is heavier
+        assert forked.n_evaluations == 0
+        assert forked.objective is toy_evaluator.objective
+
+    def test_qos_target_override(self, toy_model, toy_trace, toy_space):
+        obj = RibbonObjective(toy_space, 0.95)
+        ev = ConfigurationEvaluator(toy_model, toy_trace, obj, qos_target_ms=5.0)
+        rec_tight = ev.evaluate(toy_space.pool((4, 0)))
+        ev2 = ConfigurationEvaluator(toy_model, toy_trace, obj, qos_target_ms=100.0)
+        rec_loose = ev2.evaluate(toy_space.pool((4, 0)))
+        assert rec_loose.qos_rate >= rec_tight.qos_rate

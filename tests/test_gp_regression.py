@@ -1,0 +1,126 @@
+"""Unit tests for the from-scratch GP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.gp.kernels import RBF, Matern52, RoundedKernel
+from repro.gp.regression import GaussianProcessRegressor
+
+
+def smooth_fn(x):
+    return np.sin(3.0 * x).ravel()
+
+
+class TestFitPredict:
+    def test_interpolates_training_points(self):
+        X = np.linspace(0, 1, 8)[:, None]
+        y = smooth_fn(X)
+        gp = GaussianProcessRegressor(RBF(0.3), noise=1e-8, optimize_hyperparameters=False)
+        gp.fit(X, y)
+        pred = gp.predict(X)
+        np.testing.assert_allclose(pred, y, atol=1e-4)
+
+    def test_posterior_std_small_at_training_points(self):
+        X = np.linspace(0, 1, 6)[:, None]
+        y = smooth_fn(X)
+        gp = GaussianProcessRegressor(Matern52(0.3), noise=1e-8, optimize_hyperparameters=False)
+        gp.fit(X, y)
+        _, std = gp.predict(X, return_std=True)
+        assert np.all(std < 1e-2)
+
+    def test_posterior_std_larger_away_from_data(self):
+        X = np.array([[0.0], [0.2]])
+        y = smooth_fn(X)
+        gp = GaussianProcessRegressor(Matern52(0.2), noise=1e-8, optimize_hyperparameters=False)
+        gp.fit(X, y)
+        _, std_near = gp.predict([[0.1]], return_std=True)
+        _, std_far = gp.predict([[2.0]], return_std=True)
+        assert std_far[0] > std_near[0]
+
+    def test_mean_reverts_to_prior_far_away(self):
+        X = np.array([[0.0]])
+        y = np.array([5.0])
+        gp = GaussianProcessRegressor(
+            Matern52(0.1), noise=1e-8, normalize_y=True, optimize_hyperparameters=False
+        )
+        gp.fit(X, y)
+        far = gp.predict([[100.0]])
+        # Normalized prior mean is the data mean.
+        assert far[0] == pytest.approx(5.0, abs=1e-6)
+
+    def test_predict_before_fit_raises(self):
+        gp = GaussianProcessRegressor(RBF())
+        with pytest.raises(RuntimeError):
+            gp.predict([[0.0]])
+        with pytest.raises(RuntimeError):
+            gp.log_marginal_likelihood()
+
+    def test_shape_validation(self):
+        gp = GaussianProcessRegressor(RBF())
+        with pytest.raises(ValueError, match="rows"):
+            gp.fit(np.zeros((3, 1)), np.zeros(2))
+        with pytest.raises(ValueError, match="zero observations"):
+            gp.fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(RBF(), noise=0.0)
+
+    def test_train_accessors(self):
+        X = np.linspace(0, 1, 5)[:, None]
+        y = smooth_fn(X)
+        gp = GaussianProcessRegressor(RBF(0.3), optimize_hyperparameters=False).fit(X, y)
+        np.testing.assert_allclose(gp.X_train, X)
+        np.testing.assert_allclose(gp.y_train, y, atol=1e-12)
+
+
+class TestHyperparameterFit:
+    def test_lml_improves_with_optimization(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(20, 1))
+        y = smooth_fn(X)
+        k_bad = Matern52(length_scale=10.0, variance=0.01)
+        gp_fixed = GaussianProcessRegressor(
+            Matern52(10.0, 0.01), noise=1e-6, optimize_hyperparameters=False
+        ).fit(X, y)
+        lml_fixed = gp_fixed.log_marginal_likelihood()
+        gp_opt = GaussianProcessRegressor(
+            k_bad, noise=1e-6, optimize_hyperparameters=True, n_restarts=2
+        ).fit(X, y)
+        lml_opt = gp_opt.log_marginal_likelihood()
+        assert lml_opt >= lml_fixed - 1e-6
+
+    def test_lml_theta_argument_is_side_effect_free(self):
+        X = np.linspace(0, 1, 6)[:, None]
+        y = smooth_fn(X)
+        gp = GaussianProcessRegressor(Matern52(), optimize_hyperparameters=False).fit(X, y)
+        theta0 = gp.kernel.get_theta().copy()
+        gp.log_marginal_likelihood(theta0 + 1.0)
+        np.testing.assert_allclose(gp.kernel.get_theta(), theta0)
+
+    def test_duplicate_inputs_do_not_crash(self):
+        # Rounded kernels create exactly duplicated rows; the jittered
+        # Cholesky must survive them.
+        X = np.array([[0.5], [0.5], [0.7]])
+        y = np.array([1.0, 1.0, 2.0])
+        kernel = RoundedKernel(Matern52(0.3), scale=10.0)
+        gp = GaussianProcessRegressor(kernel, noise=1e-6, optimize_hyperparameters=False)
+        gp.fit(X, y)
+        mean = gp.predict([[0.5]])
+        assert np.isfinite(mean[0])
+
+
+class TestNormalization:
+    def test_constant_targets_handled(self):
+        X = np.linspace(0, 1, 5)[:, None]
+        y = np.full(5, 3.0)
+        gp = GaussianProcessRegressor(RBF(0.3), optimize_hyperparameters=False).fit(X, y)
+        assert gp.predict([[0.5]])[0] == pytest.approx(3.0, abs=1e-6)
+
+    def test_unnormalized_mode(self):
+        X = np.linspace(0, 1, 5)[:, None]
+        y = smooth_fn(X) + 10.0
+        gp = GaussianProcessRegressor(
+            RBF(0.3), noise=1e-8, normalize_y=False, optimize_hyperparameters=False
+        ).fit(X, y)
+        np.testing.assert_allclose(gp.predict(X), y, atol=1e-3)

@@ -1,0 +1,126 @@
+"""Unit + property tests for the Eq. 2 objective and its ablations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.catalog import DEFAULT_CATALOG
+from repro.core.objective import (
+    CostOnlyObjective,
+    NonSmoothObjective,
+    RibbonObjective,
+)
+from repro.core.search_space import SearchSpace
+
+SPACE = SearchSpace(("g4dn", "t3"), (5, 12), catalog=DEFAULT_CATALOG)
+
+rates = st.floats(0.0, 1.0, allow_nan=False)
+counts = st.tuples(st.integers(0, 5), st.integers(0, 12))
+
+
+class TestRibbonObjective:
+    def setup_method(self):
+        self.obj = RibbonObjective(SPACE, qos_rate_target=0.99)
+
+    def test_violating_branch_formula(self):
+        # f = 0.5 * R / T.
+        assert self.obj.value((1, 1), 0.495) == pytest.approx(0.5 * 0.495 / 0.99)
+
+    def test_satisfying_branch_formula(self):
+        cost = SPACE.cost((2, 3))
+        expected = 0.5 + 0.5 * (1.0 - cost / SPACE.max_cost)
+        assert self.obj.value((2, 3), 0.995) == pytest.approx(expected)
+
+    def test_any_satisfier_beats_any_violator(self):
+        worst_satisfier = self.obj.value((5, 12), 0.99)  # max cost
+        best_violator = self.obj.value((0, 1), 0.9899)  # near-threshold
+        assert worst_satisfier >= 0.5 > best_violator
+
+    def test_violating_region_monotone_in_rate(self):
+        vals = [self.obj.value((1, 1), r) for r in (0.2, 0.5, 0.9)]
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_satisfying_region_monotone_in_cost(self):
+        cheap = self.obj.value((1, 0), 1.0)
+        pricey = self.obj.value((5, 0), 1.0)
+        assert cheap > pricey
+
+    def test_boundary_continuity_bounded_jump(self):
+        # The step at the QoS boundary is at most 1/2 (paper: avoid steep
+        # jumps). Just below the threshold the value approaches 1/2 from
+        # below; just above it is in [1/2, 1].
+        below = self.obj.value((5, 12), 0.9899)
+        above = self.obj.value((5, 12), 0.99)
+        assert 0.49 < below < 0.5
+        assert 0.5 <= above <= 1.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            self.obj.value((1, 1), 1.5)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            RibbonObjective(SPACE, qos_rate_target=0.0)
+
+    def test_meets_qos(self):
+        assert self.obj.meets_qos(0.99)
+        assert not self.obj.meets_qos(0.9899)
+
+    @given(counts=counts, rate=rates)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_in_unit_interval(self, counts, rate):
+        val = RibbonObjective(SPACE).value(counts, rate)
+        assert 0.0 <= val <= 1.0
+
+    @given(counts=counts, rate=rates)
+    @settings(max_examples=100, deadline=None)
+    def test_branch_ordering_invariant(self, counts, rate):
+        obj = RibbonObjective(SPACE, qos_rate_target=0.99)
+        val = obj.value(counts, rate)
+        if rate >= 0.99:
+            assert val >= 0.5
+        else:
+            assert val < 0.5
+
+
+class TestNonSmoothObjective:
+    def test_flat_zero_in_violating_region(self):
+        obj = NonSmoothObjective(SPACE)
+        assert obj.value((1, 1), 0.5) == 0.0
+        assert obj.value((3, 3), 0.98) == 0.0
+
+    def test_cost_signal_only_when_satisfying(self):
+        obj = NonSmoothObjective(SPACE)
+        assert obj.value((1, 0), 1.0) > obj.value((5, 0), 1.0) > 0.0
+
+    def test_no_gradient_between_violators(self):
+        # The ablation's failure mode: two violators with very different
+        # satisfaction rates are indistinguishable.
+        obj = NonSmoothObjective(SPACE)
+        assert obj.value((1, 1), 0.1) == obj.value((4, 4), 0.98)
+
+
+class TestCostOnlyObjective:
+    def test_ignores_qos(self):
+        obj = CostOnlyObjective(SPACE)
+        assert obj.value((1, 1), 0.0) == obj.value((1, 1), 1.0)
+
+    def test_prefers_cheapest(self):
+        obj = CostOnlyObjective(SPACE)
+        assert obj.value((0, 1), 0.0) > obj.value((5, 12), 1.0)
+
+
+class TestEq2MatchesPaperExample:
+    def test_fig4_ordering_under_eq2(self):
+        """Eq. 2 must rank the Fig. 4 configurations the way the paper's
+        narrative does: (3+4) best, then (5+0), then (4+4); all violators
+        score below 1/2."""
+        obj = RibbonObjective(SPACE, qos_rate_target=0.99)
+        f_34 = obj.value((3, 4), 0.992)
+        f_50 = obj.value((5, 0), 0.999)
+        f_44 = obj.value((4, 4), 0.995)
+        f_40 = obj.value((4, 0), 0.95)
+        f_012 = obj.value((0, 12), 0.98)
+        assert f_34 > f_50 > f_44 >= 0.5
+        assert max(f_40, f_012) < 0.5

@@ -1,0 +1,150 @@
+"""Unit + property tests for pool configurations and the lattice helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.pool import (
+    PoolConfiguration,
+    enumerate_grid,
+    grid_vectors,
+    pool_from_vector,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = PoolConfiguration(("g4dn", "t3"), (3, 4))
+        assert p.total_instances == 7
+        assert p.as_mapping() == {"g4dn": 3, "t3": 4}
+
+    def test_homogeneous_helper(self):
+        p = PoolConfiguration.homogeneous("g4dn", 5)
+        assert p.families == ("g4dn",)
+        assert p.counts == (5,)
+
+    def test_from_mapping_with_order(self):
+        p = PoolConfiguration.from_mapping({"t3": 4}, order=("g4dn", "t3"))
+        assert p.counts == (0, 4)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            PoolConfiguration(("g4dn",), (1, 2))
+
+    def test_duplicate_families_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PoolConfiguration(("g4dn", "g4dn"), (1, 2))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PoolConfiguration(("g4dn",), (-1,))
+
+    def test_empty_family_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PoolConfiguration((), ())
+
+    def test_zero_pool_allowed_but_flagged_empty(self):
+        p = PoolConfiguration(("g4dn",), (0,))
+        assert p.is_empty()
+
+
+class TestViews:
+    def test_as_vector(self):
+        p = PoolConfiguration(("g4dn", "t3"), (2, 5))
+        np.testing.assert_array_equal(p.as_vector(), [2, 5])
+
+    def test_expand_orders_instances_by_type(self):
+        p = PoolConfiguration(("g4dn", "t3"), (2, 3))
+        idx, fams = p.expand()
+        assert idx.tolist() == [0, 0, 1, 1, 1]
+        assert fams == ("g4dn", "t3")
+
+    def test_str_rendering(self):
+        assert str(PoolConfiguration(("g4dn", "t3"), (3, 4))) == "(3 g4dn + 4 t3)"
+
+    def test_hourly_cost(self):
+        p = PoolConfiguration(("g4dn", "t3"), (3, 4))
+        assert p.hourly_cost() == pytest.approx(3 * 0.526 + 4 * 0.1664)
+
+
+class TestDominance:
+    def test_dominates_or_equal(self):
+        big = PoolConfiguration(("g4dn", "t3"), (3, 4))
+        small = PoolConfiguration(("g4dn", "t3"), (3, 2))
+        assert big.dominates_or_equal(small)
+        assert not small.dominates_or_equal(big)
+
+    def test_incomparable_pair(self):
+        a = PoolConfiguration(("g4dn", "t3"), (3, 1))
+        b = PoolConfiguration(("g4dn", "t3"), (1, 3))
+        assert not a.dominates_or_equal(b)
+        assert not b.dominates_or_equal(a)
+
+    def test_family_mismatch_rejected(self):
+        a = PoolConfiguration(("g4dn", "t3"), (1, 1))
+        b = PoolConfiguration(("g4dn", "c5"), (1, 1))
+        with pytest.raises(ValueError, match="mismatch"):
+            a.dominates_or_equal(b)
+
+
+class TestNeighbors:
+    def test_interior_point_has_2n_neighbors(self):
+        p = PoolConfiguration(("g4dn", "t3"), (2, 3))
+        assert len(p.neighbors(bounds=(5, 5))) == 4
+
+    def test_bounds_respected(self):
+        p = PoolConfiguration(("g4dn", "t3"), (5, 0))
+        moves = {n.counts for n in p.neighbors(bounds=(5, 5))}
+        assert moves == {(4, 0), (5, 1)}
+
+    def test_all_zero_neighbor_excluded(self):
+        p = PoolConfiguration(("g4dn",), (1,))
+        moves = {n.counts for n in p.neighbors(bounds=(3,))}
+        assert (0,) not in moves
+
+    def test_with_count(self):
+        p = PoolConfiguration(("g4dn", "t3"), (2, 3)).with_count("t3", 7)
+        assert p.counts == (2, 7)
+
+    def test_with_count_unknown_family(self):
+        with pytest.raises(KeyError):
+            PoolConfiguration(("g4dn",), (2,)).with_count("t3", 1)
+
+
+class TestGrid:
+    def test_enumerate_grid_size(self):
+        pools = enumerate_grid(("g4dn", "t3"), (2, 3))
+        assert len(pools) == 3 * 4 - 1  # all-zero excluded
+
+    def test_grid_vectors_matches_enumerate(self):
+        grid = grid_vectors((2, 3))
+        pools = enumerate_grid(("g4dn", "t3"), (2, 3))
+        assert grid.shape == (len(pools), 2)
+
+    def test_grid_excludes_zero(self):
+        grid = grid_vectors((2, 2))
+        assert not np.any(grid.sum(axis=1) == 0)
+
+    def test_enumerate_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            enumerate_grid(("a",), (1, 2))
+
+    def test_enumerate_rejects_negative_bounds(self):
+        with pytest.raises(ValueError):
+            enumerate_grid(("a",), (-1,))
+
+    def test_pool_from_vector_roundtrip(self):
+        p = PoolConfiguration(("g4dn", "t3"), (2, 5))
+        assert pool_from_vector(p.families, p.as_vector()) == p
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_grid_covers_every_lattice_point(self, bounds):
+        grid = grid_vectors(bounds)
+        expected = int(np.prod([b + 1 for b in bounds])) - 1
+        assert grid.shape[0] == expected
+        # Every row unique and within bounds.
+        assert len({tuple(r) for r in grid}) == expected
+        assert np.all(grid >= 0)
+        assert np.all(grid <= np.asarray(bounds))

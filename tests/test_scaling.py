@@ -1,0 +1,134 @@
+"""Tests for load-change detection and adaptation (Sec. 4 / Fig. 16)."""
+
+import pytest
+
+from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
+from repro.core.objective import RibbonObjective
+from repro.core.optimizer import RibbonOptimizer
+from repro.core.scaling import LoadAdaptiveRibbon, LoadChangeDetector
+from repro.core.search_space import SearchSpace
+from repro.simulator.pool import PoolConfiguration
+from repro.workload.trace import TraceGenerator
+from repro.workload.arrival import PoissonArrivalProcess
+from repro.workload.batch import HeavyTailLogNormalBatch
+from tests.conftest import make_toy_model
+
+
+def record(counts, rate, queue, cost=1.0):
+    return EvaluationRecord(
+        pool=PoolConfiguration(("g4dn", "t3"), counts),
+        qos_rate=rate,
+        cost_per_hour=cost,
+        objective=rate,
+        meets_qos=rate >= 0.95,
+        sample_index=0,
+        p99_ms=10.0,
+        mean_queue_length=queue,
+    )
+
+
+class TestDetector:
+    def test_flags_collapsed_rate_with_growing_queue(self):
+        det = LoadChangeDetector(rate_drop=0.05, queue_factor=1.0)
+        assert det.load_changed(record((2, 2), rate=0.5, queue=50.0), 0.95)
+
+    def test_ignores_rate_drop_without_queue_growth(self):
+        det = LoadChangeDetector()
+        assert not det.load_changed(record((2, 2), rate=0.5, queue=0.1), 0.95)
+
+    def test_ignores_healthy_config(self):
+        det = LoadChangeDetector()
+        assert not det.load_changed(record((2, 2), rate=0.99, queue=0.0), 0.95)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LoadChangeDetector(rate_drop=0.0)
+
+
+class TestSetS:
+    def test_set_s_collects_no_better_configs(self):
+        best = record((3, 0), rate=0.99, queue=0.0)
+        history = (
+            best,
+            record((2, 0), rate=0.80, queue=1.0),
+            record((3, 1), rate=0.995, queue=0.0),
+            record((1, 2), rate=0.99, queue=0.0),
+        )
+        s = LoadAdaptiveRibbon.build_set_s(history, best)
+        counts = {r.pool.counts for r in s}
+        assert counts == {(2, 0), (1, 2)}  # rate <= best's, excluding best
+
+    def test_linear_estimation_rule(self):
+        # Paper example: A 99.9% -> 33.3% means B at 90% estimates 30%.
+        best = record((3, 0), rate=0.999, queue=0.0)
+        b = record((2, 0), rate=0.90, queue=0.0)
+        est = LoadAdaptiveRibbon.estimate_new_rates([b], best, 0.333)
+        assert est[0][1] == pytest.approx(0.30, abs=1e-3)
+
+    def test_estimates_clamped(self):
+        best = record((3, 0), rate=0.5, queue=0.0)
+        b = record((2, 0), rate=0.5, queue=0.0)
+        est = LoadAdaptiveRibbon.estimate_new_rates([b], best, 1.0)
+        assert 0.0 <= est[0][1] <= 1.0
+
+    def test_zero_rate_best_gives_zero_estimates(self):
+        best = record((3, 0), rate=0.0, queue=0.0)
+        b = record((2, 0), rate=0.0, queue=0.0)
+        est = LoadAdaptiveRibbon.estimate_new_rates([b], best, 0.0)
+        assert est[0][1] == 0.0
+
+
+@pytest.fixture(scope="module")
+def load_ctx():
+    model = make_toy_model(arrival_rate_qps=400.0)
+    space = SearchSpace(("g4dn", "t3"), (6, 8))
+    objective = RibbonObjective(space, qos_rate_target=0.95)
+
+    def gen(load, seed=5):
+        return TraceGenerator(
+            PoissonArrivalProcess(model.arrival_rate_qps * load),
+            HeavyTailLogNormalBatch(
+                model.batch_median, model.batch_sigma, model.max_batch
+            ),
+            seed=seed,
+        ).generate(600)
+
+    before = ConfigurationEvaluator(model, gen(1.0), objective)
+    after = ConfigurationEvaluator(model, gen(1.5), objective)
+    return model, objective, before, after
+
+
+class TestLoadAdaptation:
+    def test_full_scenario(self, load_ctx):
+        _, _, before, after = load_ctx
+        adaptive = LoadAdaptiveRibbon(
+            lambda: RibbonOptimizer(max_samples=30, seed=0)
+        )
+        outcome = adaptive.run(before, after)
+        assert outcome.result_before.best is not None
+        assert outcome.result_after.best is not None
+        # The new optimum costs more than the old (heavier load).
+        assert outcome.cost_ratio_after_vs_before > 1.0
+        # The previous optimum is detected as failing under the new load.
+        assert outcome.detected
+        assert outcome.n_pseudo >= 0
+
+    def test_timeline_structure(self, load_ctx):
+        _, _, before, after = load_ctx
+        outcome = LoadAdaptiveRibbon(
+            lambda: RibbonOptimizer(max_samples=25, seed=1)
+        ).run(before.fork(before.trace), after.fork(after.trace))
+        tl = outcome.timeline()
+        phases = {p.phase for p in tl}
+        assert phases == {"before", "after"}
+        for pt in tl:
+            assert pt.violation_percent >= 0.0
+            assert pt.cost_normalized >= 0.0
+
+    def test_warm_start_flag_off_skips_pseudo(self, load_ctx):
+        _, _, before, after = load_ctx
+        outcome = LoadAdaptiveRibbon(
+            lambda: RibbonOptimizer(max_samples=20, seed=2), warm_start=False
+        ).run(before.fork(before.trace), after.fork(after.trace))
+        assert outcome.n_pseudo == 0
+        assert not outcome.warm_start

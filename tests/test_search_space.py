@@ -1,0 +1,116 @@
+"""Unit tests for the search space and the m_i bound estimation."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import DEFAULT_CATALOG
+from repro.core.search_space import SearchSpace, estimate_instance_bounds
+from repro.simulator.pool import PoolConfiguration
+from tests.conftest import make_toy_model, make_toy_trace
+
+
+class TestSearchSpace:
+    def setup_method(self):
+        self.space = SearchSpace(("g4dn", "t3"), (5, 12))
+
+    def test_geometry(self):
+        assert self.space.n_dims == 2
+        assert self.space.n_configurations == 6 * 13 - 1
+
+    def test_grid_shape(self):
+        grid = self.space.grid()
+        assert grid.shape == (self.space.n_configurations, 2)
+
+    def test_pools_match_grid(self):
+        pools = self.space.pools()
+        assert len(pools) == self.space.n_configurations
+        assert all(isinstance(p, PoolConfiguration) for p in pools[:3])
+
+    def test_pool_roundtrip(self):
+        p = self.space.pool((3, 4))
+        assert p.counts == (3, 4)
+        assert p.families == ("g4dn", "t3")
+
+    def test_pool_outside_bounds_rejected(self):
+        with pytest.raises(ValueError, match="outside bounds"):
+            self.space.pool((6, 0))
+        with pytest.raises(ValueError, match="dims"):
+            self.space.pool((1,))
+
+    def test_contains(self):
+        assert self.space.contains(PoolConfiguration(("g4dn", "t3"), (5, 12)))
+        assert not self.space.contains(PoolConfiguration(("g4dn", "t3"), (6, 0)))
+        assert not self.space.contains(PoolConfiguration(("g4dn", "c5"), (1, 1)))
+
+    def test_normalize_roundtrip(self):
+        grid = self.space.grid()
+        unit = self.space.normalize(grid)
+        assert unit.min() >= 0.0 and unit.max() <= 1.0
+        back = self.space.denormalize(unit)
+        np.testing.assert_allclose(back, grid)
+
+    def test_prices_and_max_cost(self):
+        p = self.space.prices
+        np.testing.assert_allclose(
+            p, [DEFAULT_CATALOG["g4dn"].price_per_hour, DEFAULT_CATALOG["t3"].price_per_hour]
+        )
+        assert self.space.max_cost == pytest.approx(5 * 0.526 + 12 * 0.1664)
+
+    def test_cost(self):
+        assert self.space.cost((3, 4)) == pytest.approx(3 * 0.526 + 4 * 0.1664)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            SearchSpace(("g4dn",), (1, 2))
+        with pytest.raises(ValueError, match="duplicate"):
+            SearchSpace(("g4dn", "g4dn"), (1, 2))
+        with pytest.raises(ValueError, match=">= 1"):
+            SearchSpace(("g4dn",), (0,))
+        with pytest.raises(KeyError):
+            SearchSpace(("nope",), (3,))
+
+
+class TestBoundEstimation:
+    def test_bounds_reflect_capacity(self):
+        model = make_toy_model(arrival_rate_qps=400.0)
+        trace = make_toy_trace(model, n=800)
+        space = estimate_instance_bounds(
+            model, trace, ("g4dn", "t3"), qos_target_ms=20.0, hard_cap=12
+        )
+        # g4dn (fast) saturates with fewer instances than t3 (slow).
+        g_bound, t_bound = space.bounds
+        assert 1 <= g_bound < t_bound <= 12
+
+    def test_saturation_definition(self):
+        """m_i is the smallest count whose QoS rate reaches the plateau."""
+        model = make_toy_model(arrival_rate_qps=400.0)
+        trace = make_toy_trace(model, n=800)
+        space = estimate_instance_bounds(
+            model, trace, ("g4dn",), qos_target_ms=20.0, hard_cap=12
+        )
+        (m,) = space.bounds
+        from repro.simulator.engine import InferenceServingSimulator
+
+        sim = InferenceServingSimulator(model, track_queue=False)
+        rate_m = sim.simulate(
+            trace, PoolConfiguration.homogeneous("g4dn", m)
+        ).qos_satisfaction_rate(20.0)
+        rate_next = sim.simulate(
+            trace, PoolConfiguration.homogeneous("g4dn", m + 1)
+        ).qos_satisfaction_rate(20.0)
+        assert rate_next <= rate_m + 1e-3
+
+    def test_hard_cap_respected(self):
+        model = make_toy_model(arrival_rate_qps=2000.0)  # needs many instances
+        trace = make_toy_trace(model, n=600)
+        space = estimate_instance_bounds(
+            model, trace, ("t3",), qos_target_ms=20.0, hard_cap=4
+        )
+        assert space.bounds == (4,)
+
+    def test_returns_ready_space(self):
+        model = make_toy_model()
+        trace = make_toy_trace(model, n=400)
+        space = estimate_instance_bounds(model, trace, ("g4dn", "t3"), hard_cap=8)
+        assert isinstance(space, SearchSpace)
+        assert space.families == ("g4dn", "t3")
