@@ -15,10 +15,12 @@ Run:  python examples/drug_discovery_serving.py
 """
 
 from repro import get_model, trace_for_model
-from repro.analysis.experiments import ExperimentSetting, make_experiment
+from repro.analysis.experiments import (
+    ExperimentSetting,
+    default_strategies,
+    make_experiment,
+)
 from repro.analysis.reporting import ascii_table
-from repro.baselines import HillClimb, RandomSearch, ResponseSurface
-from repro.core.optimizer import RibbonOptimizer
 
 
 def characterize(model) -> None:
@@ -43,12 +45,8 @@ def compare_strategies(exp) -> None:
     print(f"ground truth optimum: {truth.pool} at ${truth.cost_per_hour:.3f}/hr")
     start = exp.default_start()
     rows = []
-    for strat in (
-        RibbonOptimizer(max_samples=120, seed=0, patience=None),
-        HillClimb(max_samples=120, seed=0),
-        RandomSearch(max_samples=120, seed=0),
-        ResponseSurface(max_samples=120, seed=0),
-    ):
+    # The paper's four techniques, built from the strategy registry.
+    for strat in default_strategies(max_samples=120, seed=0):
         res = strat.search(exp.evaluator, start=start)
         rows.append(
             (

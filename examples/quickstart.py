@@ -1,55 +1,49 @@
 #!/usr/bin/env python
 """Quickstart: find a cost-optimal diverse pool for one model with Ribbon.
 
-Walks the full pipeline on MT-WND (the paper's running example):
+Walks the declarative Scenario API on MT-WND (the paper's running example):
 
-1. generate a production-style query trace (Poisson arrivals, heavy-tail
-   log-normal batch sizes);
-2. find the best *homogeneous* deployment — the paper's starting point;
-3. build the diverse search space over the Table 3 pool, with per-type
-   bounds measured by simulation;
-4. run Ribbon's Bayesian-optimization search;
+1. declare the scenario — model, workload, QoS, pool, and budget — as one
+   validated `Scenario` value;
+2. ask its runner for the best *homogeneous* deployment — the paper's
+   starting point;
+3. materialize the diverse search space over the Table 3 pool, with
+   per-type bounds measured by simulation;
+4. run Ribbon's Bayesian-optimization search by registry name;
 5. compare the resulting diverse pool against the homogeneous baseline.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    ConfigurationEvaluator,
-    RibbonObjective,
-    RibbonOptimizer,
-    estimate_instance_bounds,
-    get_model,
-    trace_for_model,
-)
-from repro.analysis.experiments import find_homogeneous_optimum
+from repro import Scenario
 
 
 def main() -> None:
-    model = get_model("MT-WND")
-    print(f"model: {model.name} — QoS p99 <= {model.qos_target_ms:g} ms, "
+    # 1. The whole experiment as one declarative, validated value.
+    scenario = (
+        Scenario.builder("MT-WND")
+        .workload(n_queries=4000, seed=1)
+        .budget(max_samples=40)
+        .build()
+    )
+    model = scenario.profile
+    print(f"model: {model.name} — QoS p99 <= {scenario.qos_target_ms:g} ms, "
           f"load {model.arrival_rate_qps:g} QPS")
-
-    # 1. One reproducible trace drives every configuration evaluation.
-    trace = trace_for_model(model, n_queries=4000, seed=1)
-    print(f"trace: {len(trace)} queries over {trace.duration_s:.1f} s")
+    runner = scenario.runner()
 
     # 2. The incumbent deployment: cheapest homogeneous pool that meets QoS.
-    homog = find_homogeneous_optimum(model, trace)
+    homog = runner.homogeneous_optimum()
     print(f"homogeneous optimum: {homog.pool} at ${homog.cost_per_hour:.3f}/hr "
           f"(QoS rate {homog.qos_rate:.4f})")
 
-    # 3. Diverse search space over the Table 3 pool (g4dn, c5, r5n).
-    space = estimate_instance_bounds(model, trace, model.diverse_pool)
-    print(f"search space: {space}")
+    # 3. Materialize once: trace + diverse space over (g4dn, c5, r5n).
+    mat = runner.materialize()
+    print(f"trace: {len(mat.trace)} queries over {mat.trace.duration_s:.1f} s")
+    print(f"search space: {mat.space}")
 
-    # 4. Ribbon's BO search.
-    objective = RibbonObjective(space)
-    evaluator = ConfigurationEvaluator(model, trace, objective)
-    optimizer = RibbonOptimizer(max_samples=40, seed=0)
-    result = optimizer.search(evaluator, start=space.pool(
-        (homog.pool.counts[0],) + (0,) * (space.n_dims - 1)
-    ))
+    # 4. Ribbon's BO search, selected from the strategy registry, starting
+    #    from the homogeneous incumbent embedded in the diverse space.
+    result = runner.run("ribbon", seed=0, start=runner.default_start())
     print(result.summary())
 
     # 5. The punchline: diverse pool cost vs homogeneous cost.

@@ -14,47 +14,40 @@ ablation behind Fig. 16's "<60% of the previous exploration time" claim.
 Run:  python examples/recommender_autoscaling.py
 """
 
-from repro import get_model, trace_for_model
-from repro.core import (
-    ConfigurationEvaluator,
-    LoadAdaptiveRibbon,
-    RibbonObjective,
-    RibbonOptimizer,
-    estimate_instance_bounds,
-)
+from repro import Scenario, make_strategy
+from repro.core import LoadAdaptiveRibbon
 
 LOAD_FACTOR = 1.5
 
-
-def build_evaluators(model):
-    trace_lo = trace_for_model(model, n_queries=4000, seed=1)
-    trace_hi = trace_for_model(
-        model, n_queries=4000, seed=1, load_factor=LOAD_FACTOR
-    )
-    # Size the space for the heavier load so both phases share one lattice.
-    space = estimate_instance_bounds(model, trace_hi, model.diverse_pool)
-    objective = RibbonObjective(space)
-    return (
-        ConfigurationEvaluator(model, trace_lo, objective),
-        ConfigurationEvaluator(model, trace_hi, objective),
-    )
+# Declare the surge phase; the base-load phase is a fork of it.  Sizing the
+# space on the heavier load means both phases share one lattice.
+SURGE = (
+    Scenario.builder("DIEN")
+    .workload(n_queries=4000, seed=1, load_factor=LOAD_FACTOR)
+    .budget(max_samples=45)
+    .build()
+)
 
 
-def run(model, warm_start: bool):
-    ev_lo, ev_hi = build_evaluators(model)
+def run(warm_start: bool):
+    runner_hi = SURGE.runner()
+    runner_lo = runner_hi.fork(load_factor=1.0)
     adaptive = LoadAdaptiveRibbon(
-        lambda: RibbonOptimizer(max_samples=45, seed=0),
+        lambda: make_strategy("ribbon", max_samples=45, seed=0),
         warm_start=warm_start,
     )
-    return adaptive.run(ev_lo, ev_hi)
+    # Fresh evaluator forks keep the warm and cold runs' accounting apart.
+    return adaptive.run(
+        runner_lo.evaluator(fresh=True), runner_hi.evaluator(fresh=True)
+    )
 
 
 def main() -> None:
-    model = get_model("DIEN")
+    model = SURGE.profile
     print(f"model: {model.name}, QoS p99 <= {model.qos_target_ms:g} ms, "
           f"surge: x{LOAD_FACTOR}")
 
-    outcome = run(model, warm_start=True)
+    outcome = run(warm_start=True)
     before, after = outcome.result_before, outcome.result_after
     deployed = outcome.deployed_on_new_load
 
@@ -70,7 +63,7 @@ def main() -> None:
     print(f"new/old optimal cost ratio: "
           f"{outcome.cost_ratio_after_vs_before:.2f}x (load grew {LOAD_FACTOR}x)")
 
-    cold = run(model, warm_start=False)
+    cold = run(warm_start=False)
     warm_n = after.samples_to_best() or after.n_samples
     cold_n = (
         cold.result_after.samples_to_best() or cold.result_after.n_samples

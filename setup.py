@@ -1,2 +1,16 @@
-from setuptools import setup
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="ribbon-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of Ribbon (SC'21): cost-effective, QoS-aware DL "
+        "inference on diverse cloud instance pools"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    extras_require={"test": ["pytest", "hypothesis"]},
+    entry_points={"console_scripts": ["repro-ribbon=repro.cli:main"]},
+)

@@ -8,15 +8,33 @@ workload generator, a discrete-event FCFS serving simulator, a
 Gaussian-process library, the BO-based Ribbon optimizer, and all competing
 baselines.
 
+The front door is the declarative :mod:`repro.api`: a frozen
+:class:`~repro.api.Scenario` describes *what* to search (model, workload,
+QoS, pool, budget), the strategy registry names *how*
+(``"ribbon"``, ``"hill-climb"``, ``"random"``, ``"rsm"``,
+``"exhaustive"``), and a cached :class:`~repro.api.ScenarioRunner`
+materializes the pipeline exactly once per workload.
+
 Quickstart::
 
-    from repro import quick_search
+    from repro import Scenario
 
-    result = quick_search("MT-WND")
+    result = Scenario("MT-WND").run("ribbon", seed=0)
     print(result.summary())
 
-See ``examples/`` for full scenarios and ``benchmarks/`` for the harness
-that regenerates every table and figure of the paper's evaluation.
+    # multi-seed sweep on a fixed workload, in parallel
+    sweep = (
+        Scenario.builder("DIEN")
+        .workload(n_queries=4000, seed=1)
+        .budget(max_samples=45)
+        .build()
+        .run_many("ribbon", seeds=(0, 1, 2), parallel=True)
+    )
+
+:func:`quick_search` remains as a one-call convenience wrapper over the
+same path.  See ``examples/`` for full scenarios and ``benchmarks/`` for
+the harness that regenerates every table and figure of the paper's
+evaluation.
 """
 
 from repro.cloud import DEFAULT_CATALOG, InstanceSpec, get_instance
@@ -24,11 +42,13 @@ from repro.models import MODEL_ZOO, ModelProfile, get_model
 from repro.workload import QueryTrace, trace_for_model
 from repro.simulator import InferenceServingSimulator, PoolConfiguration
 from repro.core import (
+    Budget,
     ConfigurationEvaluator,
     LoadAdaptiveRibbon,
     RibbonObjective,
     RibbonOptimizer,
     SearchSpace,
+    SearchStrategy,
     estimate_instance_bounds,
     select_diverse_pool,
 )
@@ -40,8 +60,21 @@ from repro.baselines import (
     ResponseSurface,
     find_optimal_configuration,
 )
+from repro.api import (
+    EvaluationBudget,
+    PoolSpec,
+    QoSSpec,
+    Scenario,
+    ScenarioBuilder,
+    ScenarioError,
+    ScenarioRunner,
+    WorkloadSpec,
+    available_strategies,
+    make_strategy,
+    register_strategy,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_CATALOG",
@@ -54,11 +87,13 @@ __all__ = [
     "trace_for_model",
     "InferenceServingSimulator",
     "PoolConfiguration",
+    "Budget",
     "ConfigurationEvaluator",
     "RibbonObjective",
     "RibbonOptimizer",
     "LoadAdaptiveRibbon",
     "SearchSpace",
+    "SearchStrategy",
     "estimate_instance_bounds",
     "select_diverse_pool",
     "SearchResult",
@@ -67,6 +102,17 @@ __all__ = [
     "ResponseSurface",
     "ExhaustiveSearch",
     "find_optimal_configuration",
+    "EvaluationBudget",
+    "PoolSpec",
+    "QoSSpec",
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioError",
+    "ScenarioRunner",
+    "WorkloadSpec",
+    "available_strategies",
+    "make_strategy",
+    "register_strategy",
     "quick_search",
 ]
 
@@ -80,13 +126,14 @@ def quick_search(
 ) -> SearchResult:
     """One-call Ribbon run on a Table 1 model with paper-default settings.
 
-    Builds the model's Table 3 diverse pool, estimates per-type bounds,
-    and runs the BO search; returns the :class:`SearchResult`.
+    Thin back-compat wrapper over the Scenario API: equivalent to
+    ``Scenario(model_name, workload=WorkloadSpec(n_queries=n_queries),
+    budget=EvaluationBudget(max_samples=max_samples)).run("ribbon",
+    seed=seed)``.
     """
-    model = get_model(model_name)
-    trace = trace_for_model(model, n_queries=n_queries, seed=seed)
-    space = estimate_instance_bounds(model, trace, model.diverse_pool)
-    objective = RibbonObjective(space)
-    evaluator = ConfigurationEvaluator(model, trace, objective)
-    optimizer = RibbonOptimizer(max_samples=max_samples, seed=seed)
-    return optimizer.search(evaluator)
+    scenario = Scenario(
+        model=model_name,
+        workload=WorkloadSpec(n_queries=n_queries),
+        budget=EvaluationBudget(max_samples=max_samples),
+    )
+    return scenario.run("ribbon", seed=seed)

@@ -24,13 +24,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.experiments import ExperimentSetting, find_homogeneous_optimum
-from repro.core.search_space import estimate_instance_bounds
+from repro.analysis.experiments import ExperimentSetting
+from repro.api.runner import ScenarioRunner
 from repro.models.base import ModelProfile
 from repro.models.zoo import get_model
 from repro.simulator.engine import InferenceServingSimulator
 from repro.simulator.pool import PoolConfiguration
-from repro.workload.trace import trace_for_model
 
 #: Instance families ordered by how early they join the growing pool, per
 #: model category (the Table 3 pool first, then further catalog types).
@@ -111,27 +110,29 @@ def cardinality_sweep(
 ) -> list[CardinalityPoint]:
     """Fig. 8 series for one model: cardinality 1..``max_types``."""
     model = get_model(model_name)
-    trace = trace_for_model(model, n_queries=setting.n_queries, seed=setting.seed)
     order_key = (
         "recommendation"
         if model.homogeneous_family == "g4dn"
         else "general"
     )
     family_order = CARDINALITY_ORDER[order_key]
-    homog = find_homogeneous_optimum(
-        model, trace, qos_rate_target=setting.qos_rate_target
+    homog = ScenarioRunner(setting.scenario(model_name)).homogeneous_optimum(
+        seed=setting.seed
     )
     points: list[CardinalityPoint] = []
     for k in range(1, max_types + 1):
         families = family_order[:k]
-        space = estimate_instance_bounds(
-            model, trace, families, hard_cap=bound_cap, catalog=model.catalog
-        )
+        # One scenario per cardinality; its runner measures the bounds.
+        mat = ScenarioRunner(
+            setting.scenario(
+                model_name, families=tuple(families), bound_cap=bound_cap
+            )
+        ).materialize(setting.seed)
         n_better, saving, n_sim = _count_better_configs(
             model,
-            trace,
+            mat.trace,
             tuple(families),
-            space.bounds,
+            mat.space.bounds,
             homog.cost_per_hour,
             model.qos_target_ms,
             setting.qos_rate_target,

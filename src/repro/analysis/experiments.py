@@ -3,32 +3,35 @@
 A :class:`ModelExperiment` bundles everything one model's experiments need:
 the trace, the search space over the Table 3 diverse pool, the Eq. 2
 objective, a shared (cached) evaluator, the homogeneous baseline, and the
-exhaustive ground-truth optimum.  Building it once per model and reusing it
-across figures keeps the full benchmark suite fast — repeated configuration
-evaluations hit the evaluator cache.
+exhaustive ground-truth optimum.  All of it is materialized through the
+declarative :mod:`repro.api` — an :class:`ExperimentSetting` maps 1:1 onto
+a :class:`~repro.api.Scenario`, and strategies come from the registry by
+name.  Building the experiment once per model and reusing it across figures
+keeps the full benchmark suite fast — repeated configuration evaluations
+hit the evaluator cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines import (
-    ExhaustiveSearch,
-    HillClimb,
-    RandomSearch,
-    ResponseSurface,
+from repro.api.registry import make_strategy
+from repro.api.runner import ScenarioRunner, scan_homogeneous
+from repro.api.scenario import (
+    EvaluationBudget,
+    PoolSpec,
+    QoSSpec,
+    Scenario,
+    WorkloadSpec,
 )
 from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
 from repro.core.objective import ObjectiveFunction, RibbonObjective
-from repro.core.optimizer import RibbonOptimizer
 from repro.core.result import SearchResult
-from repro.core.search_space import SearchSpace, estimate_instance_bounds
+from repro.core.search_space import SearchSpace
 from repro.core.strategy import SearchStrategy
 from repro.models.base import ModelProfile
-from repro.models.zoo import get_model
-from repro.simulator.engine import InferenceServingSimulator
 from repro.simulator.pool import PoolConfiguration
-from repro.workload.trace import QueryTrace, trace_for_model
+from repro.workload.trace import QueryTrace
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,31 @@ class ExperimentSetting:
     gaussian_batches: bool = False
     qos_target_ms: float | None = None
 
+    def scenario(
+        self,
+        model_name: str,
+        *,
+        families: tuple[str, ...] | None = None,
+        bound_cap: int = 16,
+        max_samples: int = 40,
+    ) -> Scenario:
+        """The :class:`~repro.api.Scenario` these settings describe."""
+        return Scenario(
+            model=model_name,
+            workload=WorkloadSpec(
+                n_queries=self.n_queries,
+                seed=self.seed,
+                load_factor=self.load_factor,
+                gaussian=self.gaussian_batches,
+            ),
+            qos=QoSSpec(
+                latency_target_ms=self.qos_target_ms,
+                rate_target=self.qos_rate_target,
+            ),
+            pool=PoolSpec(families=families, bound_cap=bound_cap),
+            budget=EvaluationBudget(max_samples=max_samples),
+        )
+
 
 @dataclass
 class ModelExperiment:
@@ -54,6 +82,8 @@ class ModelExperiment:
     evaluator: ConfigurationEvaluator
     homogeneous_optimum: EvaluationRecord
     setting: ExperimentSetting
+    scenario: Scenario | None = None
+    runner: ScenarioRunner | None = field(default=None, repr=False)
     _ground_truth: EvaluationRecord | None = field(default=None, repr=False)
 
     @property
@@ -64,7 +94,7 @@ class ModelExperiment:
     def ground_truth(self) -> EvaluationRecord:
         """Exhaustive-search optimum of the diverse space (cached)."""
         if self._ground_truth is None:
-            result = ExhaustiveSearch().search(self.evaluator)
+            result = make_strategy("exhaustive").search(self.evaluator)
             if result.best is None:
                 raise RuntimeError(
                     f"no QoS-meeting configuration exists in {self.space}"
@@ -82,13 +112,16 @@ class ModelExperiment:
 
         The paper's scenario: the service "is already running at minimal
         cost on a specific instance type" — so every search starts from the
-        homogeneous optimum embedded in the diverse space.
+        homogeneous optimum embedded in the diverse space.  Delegates to
+        :meth:`ScenarioRunner.default_start` (experiments are always built
+        runner-backed by :func:`make_experiment`).
         """
-        counts = [0] * self.space.n_dims
-        anchor = self.model.homogeneous_family
-        dim = self.space.families.index(anchor)
-        counts[dim] = min(self.homogeneous_optimum.pool.counts[0], self.space.bounds[dim])
-        return self.space.pool(tuple(counts))
+        if self.runner is None:
+            raise ValueError(
+                "default_start needs a runner-backed experiment; build it "
+                "with make_experiment()"
+            )
+        return self.runner.default_start(seed=self.setting.seed)
 
 
 def find_homogeneous_optimum(
@@ -104,23 +137,27 @@ def find_homogeneous_optimum(
 
     This is the deployment the paper assumes as the starting point
     ("already running at minimal cost on a specific instance type").
+    Back-compat wrapper over the api's :func:`scan_homogeneous`: unlike
+    the declarative path (:meth:`ScenarioRunner.homogeneous_optimum`,
+    which resolves the model by zoo name), this accepts an *arbitrary*
+    profile and trace — including customized catalogs, latency targets,
+    and batch distributions no scenario provenance could express.
     """
     fam = family if family is not None else model.homogeneous_family
     target_ms = qos_target_ms if qos_target_ms is not None else model.qos_target_ms
-    sim = InferenceServingSimulator(model, track_queue=False)
-    space = SearchSpace((fam,), (max_count,), catalog=model.catalog)
-    objective = RibbonObjective(space, qos_rate_target)
+    objective = RibbonObjective(
+        SearchSpace((fam,), (max_count,), catalog=model.catalog), qos_rate_target
+    )
     evaluator = ConfigurationEvaluator(
         model, trace, objective, qos_target_ms=target_ms
     )
-    for count in range(1, max_count + 1):
-        record = evaluator.evaluate(PoolConfiguration.homogeneous(fam, count))
-        if record.meets_qos:
-            return record
-    raise RuntimeError(
-        f"{max_count} x {fam} still violates the {target_ms} ms QoS for "
-        f"{model.name}; the workload is beyond the searchable capacity"
-    )
+    record = scan_homogeneous(evaluator, fam, max_count)
+    if record is None:
+        raise RuntimeError(
+            f"{max_count} x {fam} still violates the {target_ms:g} ms QoS "
+            f"for {model.name}; the workload is beyond the searchable capacity"
+        )
+    return record
 
 
 def make_experiment(
@@ -130,47 +167,28 @@ def make_experiment(
     families: tuple[str, ...] | None = None,
     bound_cap: int = 16,
 ) -> ModelExperiment:
-    """Wire up the full experiment context for one Table 1 model."""
-    model = get_model(model_name)
-    trace = trace_for_model(
-        model,
-        n_queries=setting.n_queries,
-        seed=setting.seed,
-        load_factor=setting.load_factor,
-        gaussian=setting.gaussian_batches,
+    """Wire up the full experiment context for one Table 1 model.
+
+    Declares the setting as a :class:`~repro.api.Scenario` and lets its
+    :class:`~repro.api.ScenarioRunner` materialize the trace, the measured
+    search space, the Eq. 2 objective, and the shared evaluator.
+    """
+    scenario = setting.scenario(
+        model_name, families=families, bound_cap=bound_cap
     )
-    target_ms = (
-        setting.qos_target_ms
-        if setting.qos_target_ms is not None
-        else model.qos_target_ms
-    )
-    fams = families if families is not None else model.diverse_pool
-    space = estimate_instance_bounds(
-        model,
-        trace,
-        fams,
-        qos_target_ms=target_ms,
-        hard_cap=bound_cap,
-        catalog=model.catalog,
-    )
-    objective = RibbonObjective(space, setting.qos_rate_target)
-    evaluator = ConfigurationEvaluator(
-        model, trace, objective, qos_target_ms=target_ms
-    )
-    homog = find_homogeneous_optimum(
-        model,
-        trace,
-        qos_rate_target=setting.qos_rate_target,
-        qos_target_ms=target_ms,
-    )
+    runner = ScenarioRunner(scenario)
+    mat = runner.materialize(setting.seed)
+    homog = runner.homogeneous_optimum(seed=setting.seed)
     return ModelExperiment(
-        model=model,
-        trace=trace,
-        space=space,
-        objective=objective,
-        evaluator=evaluator,
+        model=mat.model,
+        trace=mat.trace,
+        space=mat.space,
+        objective=mat.objective,
+        evaluator=mat.evaluator,
         homogeneous_optimum=homog,
         setting=setting,
+        scenario=scenario,
+        runner=runner,
     )
 
 
@@ -208,20 +226,29 @@ def cost_savings_experiment(
     return rows
 
 
+#: Registry names of the paper's four competing techniques (Sec. 5.3),
+#: with the per-method extra knobs the comparison uses.
+COMPARISON_METHODS: tuple[tuple[str, dict], ...] = (
+    ("ribbon", {"patience": None}),
+    ("hill-climb", {}),
+    ("random", {}),
+    ("rsm", {}),
+)
+
+
 def default_strategies(
     max_samples: int = 120, seed: int = 0
 ) -> list[SearchStrategy]:
     """The paper's four competing techniques with a common budget.
 
-    Early stopping (patience) is disabled so every method runs until it
-    finds the optimum or exhausts the shared budget — the Fig. 10/13/14
-    metrics are all "until the optimum was reached" quantities.
+    Built from the strategy registry.  Early stopping (patience) is
+    disabled for Ribbon so every method runs until it finds the optimum or
+    exhausts the shared budget — the Fig. 10/13/14 metrics are all "until
+    the optimum was reached" quantities.
     """
     return [
-        RibbonOptimizer(max_samples=max_samples, seed=seed, patience=None),
-        HillClimb(max_samples=max_samples, seed=seed),
-        RandomSearch(max_samples=max_samples, seed=seed),
-        ResponseSurface(max_samples=max_samples, seed=seed),
+        make_strategy(name, max_samples=max_samples, seed=seed, **extra)
+        for name, extra in COMPARISON_METHODS
     ]
 
 

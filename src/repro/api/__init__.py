@@ -1,0 +1,64 @@
+"""The declarative front door of the Ribbon reproduction.
+
+Two ideas, one entry point:
+
+* a frozen :class:`Scenario` value object (model + workload + QoS + pool +
+  budget) with a fluent builder and front-loaded validation, materialized
+  lazily — and exactly once — by a :class:`ScenarioRunner`;
+* a strategy registry mapping canonical names (``"ribbon"``,
+  ``"hill-climb"``, ``"random"``, ``"rsm"``, ``"exhaustive"``) to
+  :class:`~repro.core.strategy.SearchStrategy` classes, so every consumer
+  selects algorithms by name and new optimizers plug in with
+  :func:`register_strategy`.
+
+Quickstart::
+
+    from repro.api import Scenario
+
+    result = Scenario("MT-WND").run("ribbon", seed=0)
+    print(result.summary())
+
+    sweep = (
+        Scenario.builder("DIEN")
+        .workload(n_queries=4000, seed=1)
+        .budget(max_samples=45)
+        .build()
+        .run_many("ribbon", seeds=(0, 1, 2), parallel=True)
+    )
+"""
+
+from repro.api.registry import (
+    UnknownStrategyError,
+    available_strategies,
+    make_strategy,
+    register_strategy,
+    strategy_class,
+)
+from repro.api.runner import MaterializedScenario, ScenarioRunner, runner_for
+from repro.api.scenario import (
+    EvaluationBudget,
+    PoolSpec,
+    QoSSpec,
+    Scenario,
+    ScenarioBuilder,
+    ScenarioError,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "EvaluationBudget",
+    "MaterializedScenario",
+    "PoolSpec",
+    "QoSSpec",
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioError",
+    "ScenarioRunner",
+    "UnknownStrategyError",
+    "WorkloadSpec",
+    "available_strategies",
+    "make_strategy",
+    "register_strategy",
+    "runner_for",
+    "strategy_class",
+]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
-from repro.core.strategy import SearchStrategy, _Budget
+from repro.core.strategy import Budget, SearchStrategy
 from repro.simulator.pool import PoolConfiguration
 
 
@@ -50,7 +50,7 @@ class ExhaustiveSearch(SearchStrategy):
     def _run(
         self,
         evaluator: ConfigurationEvaluator,
-        budget: _Budget,
+        budget: Budget,
         start: PoolConfiguration | None,
     ) -> None:
         space = evaluator.space

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
-from repro.core.strategy import SearchStrategy, _Budget
+from repro.core.strategy import Budget, SearchStrategy
 from repro.simulator.pool import PoolConfiguration
 
 
@@ -32,7 +32,7 @@ class HillClimb(SearchStrategy):
     def _run(
         self,
         evaluator: ConfigurationEvaluator,
-        budget: _Budget,
+        budget: Budget,
         start: PoolConfiguration | None,
     ) -> None:
         space = evaluator.space
@@ -71,7 +71,7 @@ class HillClimb(SearchStrategy):
 
     def _climb_step(
         self,
-        budget: _Budget,
+        budget: Budget,
         current: EvaluationRecord,
         bounds: list[int],
     ) -> EvaluationRecord | None:
@@ -104,7 +104,7 @@ class HillClimb(SearchStrategy):
 
     @staticmethod
     def _random_unvisited(
-        space, budget: _Budget, rng: np.random.Generator
+        space, budget: Budget, rng: np.random.Generator
     ) -> PoolConfiguration | None:
         grid = space.grid()
         order = rng.permutation(grid.shape[0])

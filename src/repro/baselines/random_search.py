@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.evaluator import ConfigurationEvaluator
-from repro.core.strategy import SearchStrategy, _Budget
+from repro.core.strategy import Budget, SearchStrategy
 from repro.simulator.pool import PoolConfiguration
 
 
@@ -31,7 +31,7 @@ class RandomSearch(SearchStrategy):
     def _run(
         self,
         evaluator: ConfigurationEvaluator,
-        budget: _Budget,
+        budget: Budget,
         start: PoolConfiguration | None,
     ) -> None:
         space = evaluator.space
@@ -65,7 +65,7 @@ class RandomSearch(SearchStrategy):
 
     @staticmethod
     def _observe(
-        budget: _Budget,
+        budget: Budget,
         pool: PoolConfiguration,
         violator_ceilings: list[np.ndarray],
         satisfier_floors: list[np.ndarray],

@@ -15,7 +15,7 @@ import itertools
 import numpy as np
 
 from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
-from repro.core.strategy import SearchStrategy, _Budget
+from repro.core.strategy import Budget, SearchStrategy
 from repro.simulator.pool import PoolConfiguration
 
 
@@ -65,7 +65,7 @@ class ResponseSurface(SearchStrategy):
     def _run(
         self,
         evaluator: ConfigurationEvaluator,
-        budget: _Budget,
+        budget: Budget,
         start: PoolConfiguration | None,
     ) -> None:
         space = evaluator.space
@@ -94,7 +94,7 @@ class ResponseSurface(SearchStrategy):
 
     @staticmethod
     def _best_improving_neighbor(
-        budget: _Budget,
+        budget: Budget,
         current: EvaluationRecord,
         bounds: list[int],
     ) -> EvaluationRecord | None:

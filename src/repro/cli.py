@@ -5,11 +5,15 @@ Examples::
     repro-ribbon fig9                 # cost savings per model
     repro-ribbon fig4                 # the diverse-pool opportunity example
     repro-ribbon search MT-WND        # run Ribbon on one model
+    repro-ribbon search DIEN --method hill-climb
+    repro-ribbon strategies           # list the registered strategies
     repro-ribbon fig10 --models MT-WND DIEN
 
 Every figure/table of the paper's evaluation has a matching subcommand; the
 heavy experiments accept ``--queries`` and ``--seeds`` to trade fidelity for
-runtime.
+runtime.  ``search`` picks its algorithm by name from the strategy registry
+(``--method``), so a strategy registered with
+:func:`repro.api.register_strategy` is immediately runnable from the shell.
 """
 
 from __future__ import annotations
@@ -25,7 +29,13 @@ from repro.analysis.experiments import (
     search_comparison,
 )
 from repro.analysis.reporting import ascii_bar_chart, ascii_table
-from repro.core.optimizer import RibbonOptimizer
+from repro.api import (
+    ScenarioError,
+    UnknownStrategyError,
+    available_strategies,
+    make_strategy,
+    strategy_class,
+)
 
 ALL_MODELS = ("CANDLE", "ResNet50", "VGG19", "MT-WND", "DIEN")
 
@@ -122,10 +132,11 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    strategy_class(args.method)  # fail fast, before the costly materialization
     setting = ExperimentSetting(n_queries=args.queries)
     exp = make_experiment(args.model, setting)
-    optimizer = RibbonOptimizer(max_samples=args.samples, seed=args.seed)
-    result = optimizer.search(exp.evaluator, start=exp.default_start())
+    strategy = make_strategy(args.method, max_samples=args.samples, seed=args.seed)
+    result = strategy.search(exp.evaluator, start=exp.default_start())
     print(result.summary())
     if result.best is not None:
         saving = 100.0 * (1.0 - result.best_cost / exp.homogeneous_cost)
@@ -133,6 +144,22 @@ def _cmd_search(args: argparse.Namespace) -> int:
             f"homogeneous baseline {exp.homogeneous_optimum.pool} "
             f"${exp.homogeneous_cost:.3f}/hr -> saving {saving:.1f}%"
         )
+    return 0
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_strategies():
+        cls = strategy_class(name)
+        doc = (cls.__doc__ or "").strip().splitlines()
+        rows.append((name, cls.__name__, doc[0] if doc else ""))
+    print(
+        ascii_table(
+            ["name", "class", "description"],
+            rows,
+            title="registered search strategies (repro.api.register_strategy)",
+        )
+    )
     return 0
 
 
@@ -161,12 +188,23 @@ def build_parser() -> argparse.ArgumentParser:
     p10.add_argument("--seeds", type=int, default=3)
     p10.set_defaults(func=_cmd_fig10)
 
-    ps = sub.add_parser("search", help="run Ribbon on one model")
+    ps = sub.add_parser("search", help="run one search strategy on one model")
     ps.add_argument("model")
+    ps.add_argument(
+        "--method",
+        default="ribbon",
+        help=(
+            "search strategy, by registry name or alias "
+            f"(default: ribbon; registered: {', '.join(available_strategies())})"
+        ),
+    )
     ps.add_argument("--queries", type=int, default=4000)
     ps.add_argument("--samples", type=int, default=40)
     ps.add_argument("--seed", type=int, default=0)
     ps.set_defaults(func=_cmd_search)
+
+    pl = sub.add_parser("strategies", help="list the registered strategies")
+    pl.set_defaults(func=_cmd_strategies)
 
     return parser
 
@@ -175,7 +213,11 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ScenarioError, UnknownStrategyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,7 @@ The public surface:
   rule for picking which instance types join the diverse pool.
 """
 
+from repro.core.strategy import Budget, SearchStrategy
 from repro.core.objective import (
     CostOnlyObjective,
     NonSmoothObjective,
@@ -31,6 +32,8 @@ from repro.core.scaling import LoadAdaptiveRibbon, LoadChangeDetector, TimelineP
 from repro.core.pools import TABLE3_POOLS, select_diverse_pool
 
 __all__ = [
+    "Budget",
+    "SearchStrategy",
     "ObjectiveFunction",
     "RibbonObjective",
     "NonSmoothObjective",

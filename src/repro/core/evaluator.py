@@ -115,6 +115,11 @@ class ConfigurationEvaluator:
         return self._qos_target_ms
 
     @property
+    def eval_duration_hours(self) -> float:
+        """Wall-clock hours one evaluation is billed for (Fig. 13/14)."""
+        return self._eval_hours
+
+    @property
     def history(self) -> tuple[EvaluationRecord, ...]:
         """Unique evaluations in the order they were first performed."""
         return tuple(self._history)

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.pruning import PruneSet
-from repro.core.strategy import SearchStrategy, _Budget
+from repro.core.strategy import Budget, SearchStrategy
 from repro.gp.acquisition import expected_improvement
 from repro.gp.kernels import Kernel, Matern52, RoundedKernel
 from repro.gp.regression import GaussianProcessRegressor
@@ -121,7 +121,7 @@ class RibbonOptimizer(SearchStrategy):
     def _run(
         self,
         evaluator: ConfigurationEvaluator,
-        budget: _Budget,
+        budget: Budget,
         start: PoolConfiguration | None,
     ) -> None:
         space = evaluator.space

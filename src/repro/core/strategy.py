@@ -4,8 +4,12 @@ Ribbon and every competing technique (RANDOM / Hill-Climb / RSM /
 exhaustive) implement the same contract: given an evaluator (the costly
 black box) produce a :class:`~repro.core.result.SearchResult`.  The base
 class centralizes the bookkeeping every strategy shares — per-search
-evaluation windows, stopping on budget, and result assembly — so the
-comparisons of Figs. 10/13/14 are apples-to-apples.
+evaluation windows (:class:`Budget`), stopping on budget, and result
+assembly — so the comparisons of Figs. 10/13/14 are apples-to-apples.
+
+Strategies become selectable by name (``Scenario.run("my-strategy")``,
+``repro-ribbon search --method my-strategy``) by registering with
+:func:`repro.api.register_strategy`.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ class SearchStrategy(abc.ABC):
     def _run(
         self,
         evaluator: ConfigurationEvaluator,
-        budget: "_Budget",
+        budget: "Budget",
         start: PoolConfiguration | None,
     ) -> None:
         """Drive the search; call ``budget.evaluate(pool)`` to sample."""
@@ -59,7 +63,7 @@ class SearchStrategy(abc.ABC):
         repeated evaluations free); each search's accounting is windowed to
         the evaluations *this* call performed.
         """
-        budget = _Budget(evaluator, self.max_samples)
+        budget = Budget(evaluator, self.max_samples)
         self._run(evaluator, budget, start)
         history = budget.window()
         meeting = [r for r in history if r.meets_qos]
@@ -78,10 +82,10 @@ class SearchStrategy(abc.ABC):
 
 
 def _eval_hours(evaluator: ConfigurationEvaluator) -> float:
-    return evaluator.trace.duration_s / 3600.0
+    return evaluator.eval_duration_hours
 
 
-class _Budget:
+class Budget:
     """Windowed evaluation budget shared between strategy and base class.
 
     Tracks the evaluations performed by one ``search`` call even when the
@@ -139,3 +143,8 @@ class _Budget:
         if not meeting:
             return None
         return min(meeting, key=lambda r: r.cost_per_hour)
+
+
+#: Deprecated alias — ``Budget`` has been public since the Scenario API
+#: landed; the underscore name is kept for older strategy subclasses.
+_Budget = Budget

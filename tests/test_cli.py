@@ -19,6 +19,17 @@ class TestParser:
         args = build_parser().parse_args(["search", "MT-WND", "--samples", "10"])
         assert args.model == "MT-WND"
         assert args.samples == 10
+        assert args.method == "ribbon"
+
+    def test_search_method_from_registry(self):
+        args = build_parser().parse_args(
+            ["search", "MT-WND", "--method", "hill-climb"]
+        )
+        assert args.method == "hill-climb"
+
+    def test_search_accepts_registry_aliases(self):
+        args = build_parser().parse_args(["search", "MT-WND", "--method", "bo"])
+        assert args.method == "bo"
 
 
 class TestCommands:
@@ -35,3 +46,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "RIBBON" in out
         assert "homogeneous baseline" in out
+
+    def test_search_with_registry_method(self, capsys):
+        rc = main(
+            [
+                "search", "MT-WND",
+                "--queries", "2500",
+                "--samples", "15",
+                "--method", "random",
+            ]
+        )
+        assert rc == 0
+        assert "RANDOM" in capsys.readouterr().out
+
+    def test_unknown_method_is_clean_error(self, capsys):
+        rc = main(["search", "MT-WND", "--method", "simulated-annealing"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown strategy" in err and "ribbon" in err
+
+    def test_unknown_model_is_clean_error(self, capsys):
+        rc = main(["search", "BERT"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown model" in err and "MT-WND" in err
+
+    def test_strategies_lists_registry(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ribbon", "hill-climb", "random", "rsm", "exhaustive"):
+            assert name in out
