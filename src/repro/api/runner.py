@@ -32,6 +32,7 @@ from repro.core.search_space import SearchSpace, estimate_instance_bounds
 from repro.core.strategy import SearchStrategy
 from repro.models.base import ModelProfile
 from repro.simulator.pool import PoolConfiguration
+from repro.simulator.service import ServiceTimeCache, shared_service_cache
 from repro.workload.trace import QueryTrace, trace_for_model
 
 __all__ = [
@@ -85,6 +86,10 @@ class ScenarioRunner:
     space, objective:
         Pre-built lattice/objective to reuse instead of measuring bounds —
         set by :meth:`fork` so load-change phases share one search space.
+    service_cache:
+        Service-time matrix cache handed to every evaluator this runner
+        builds; defaults to the process-wide shared cache.  :meth:`fork`
+        propagates the parent's cache so load-change phases share it.
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class ScenarioRunner:
         *,
         space: SearchSpace | None = None,
         objective: RibbonObjective | None = None,
+        service_cache: ServiceTimeCache | None = None,
     ):
         if not isinstance(scenario, Scenario):
             raise ScenarioError(
@@ -101,6 +107,9 @@ class ScenarioRunner:
         self.scenario = scenario
         self._shared_space = space
         self._shared_objective = objective
+        self._service_cache = (
+            service_cache if service_cache is not None else shared_service_cache()
+        )
         # LRU per trace seed: materializations hold full traces and every
         # simulated record, so a wide follow-seed sweep must not pin them
         # all (the module-level runner cache keeps runners alive).
@@ -185,6 +194,7 @@ class ScenarioRunner:
             objective,
             qos_target_ms=target_ms,
             eval_duration_hours=scn.budget.eval_duration_hours,
+            service_cache=self._service_cache,
         )
         return MaterializedScenario(
             scenario=scn,
@@ -346,7 +356,12 @@ class ScenarioRunner:
         """
         mat = self.materialize(materialize_seed)
         forked = self.scenario.with_workload(**workload_changes)
-        return ScenarioRunner(forked, space=mat.space, objective=mat.objective)
+        return ScenarioRunner(
+            forked,
+            space=mat.space,
+            objective=mat.objective,
+            service_cache=self._service_cache,
+        )
 
     def homogeneous_optimum(
         self,

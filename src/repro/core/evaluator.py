@@ -19,6 +19,7 @@ from repro.models.base import ModelProfile
 from repro.simulator.engine import InferenceServingSimulator
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.pool import PoolConfiguration
+from repro.simulator.service import ServiceTimeCache
 from repro.workload.trace import QueryTrace
 
 
@@ -65,6 +66,9 @@ class ConfigurationEvaluator:
         Wall-clock cost attributed to one evaluation when accounting
         exploration dollars (the paper deploys each sampled configuration
         for a fixed observation window).  Defaults to the trace duration.
+    service_cache:
+        Service-time matrix cache handed to the simulator (and propagated
+        by :meth:`fork`); defaults to the process-wide shared cache.
     """
 
     def __init__(
@@ -75,6 +79,7 @@ class ConfigurationEvaluator:
         *,
         qos_target_ms: float | None = None,
         eval_duration_hours: float | None = None,
+        service_cache: ServiceTimeCache | None = None,
     ):
         self._model = model
         self._trace = trace
@@ -89,9 +94,15 @@ class ConfigurationEvaluator:
             if eval_duration_hours is not None
             else trace.duration_s / 3600.0
         )
-        self._sim = InferenceServingSimulator(model, track_queue=True)
+        self._sim = InferenceServingSimulator(
+            model, track_queue=True, service_cache=service_cache
+        )
         self._cache: dict[tuple[int, ...], EvaluationRecord] = {}
         self._history: list[EvaluationRecord] = []
+        # Running accumulators mirroring _history (kept O(1) per evaluation;
+        # summed in history order so totals match a left-to-right re-sum).
+        self._cost_per_hour_sum = 0.0
+        self._n_violating = 0
 
     # -- properties -------------------------------------------------------------
     @property
@@ -132,12 +143,12 @@ class ConfigurationEvaluator:
     @property
     def n_violating_evaluations(self) -> int:
         """How many distinct sampled configurations violated QoS (Fig. 14)."""
-        return sum(1 for r in self._history if not r.meets_qos)
+        return self._n_violating
 
     @property
     def exploration_cost_dollars(self) -> float:
         """Dollars spent deploying sampled configurations (Fig. 13)."""
-        return sum(r.cost_per_hour for r in self._history) * self._eval_hours
+        return self._cost_per_hour_sum * self._eval_hours
 
     def exhaustive_cost_dollars(self) -> float:
         """Dollars to exhaustively deploy every configuration in the space."""
@@ -173,6 +184,9 @@ class ConfigurationEvaluator:
             record = self._record_from_result(pool, result)
         self._cache[key] = record
         self._history.append(record)
+        self._cost_per_hour_sum += record.cost_per_hour
+        if not record.meets_qos:
+            self._n_violating += 1
         return record
 
     def _record_from_result(
@@ -209,4 +223,5 @@ class ConfigurationEvaluator:
             self._objective,
             qos_target_ms=self._qos_target_ms,
             eval_duration_hours=self._eval_hours,
+            service_cache=self._sim.service_cache,
         )

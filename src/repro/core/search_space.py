@@ -67,8 +67,27 @@ class SearchSpace:
         return total - 1
 
     def grid(self) -> np.ndarray:
-        """All configurations as an ``(m, n)`` integer array."""
-        return grid_vectors(self.bounds)
+        """All configurations as an ``(m, n)`` integer array.
+
+        Built once per space and cached read-only: the lattice is consulted
+        on every optimizer iteration and in cost accounting, and rebuilding
+        it (meshgrid + filter) on each call showed up in search profiles.
+        """
+        cached = self.__dict__.get("_grid")
+        if cached is None:
+            cached = grid_vectors(self.bounds)
+            cached.flags.writeable = False
+            object.__setattr__(self, "_grid", cached)
+        return cached
+
+    def grid_unit(self) -> np.ndarray:
+        """The grid normalized to the unit cube (GP input space), cached."""
+        cached = self.__dict__.get("_grid_unit")
+        if cached is None:
+            cached = self.normalize(self.grid())
+            cached.flags.writeable = False
+            object.__setattr__(self, "_grid_unit", cached)
+        return cached
 
     def pools(self) -> list[PoolConfiguration]:
         """All configurations as pool objects (exhaustive search)."""
@@ -102,10 +121,16 @@ class SearchSpace:
     # -- cost -------------------------------------------------------------------
     @property
     def prices(self) -> np.ndarray:
-        """Hourly price per dimension (the :math:`p_i` of Eq. 2)."""
-        return np.asarray(
-            [self.catalog[f].price_per_hour for f in self.families], dtype=float
-        )
+        """Hourly price per dimension (the :math:`p_i` of Eq. 2), cached."""
+        cached = self.__dict__.get("_prices")
+        if cached is None:
+            cached = np.asarray(
+                [self.catalog[f].price_per_hour for f in self.families],
+                dtype=float,
+            )
+            cached.flags.writeable = False
+            object.__setattr__(self, "_prices", cached)
+        return cached
 
     @property
     def max_cost(self) -> float:

@@ -10,7 +10,9 @@ Implements everything Ribbon's BO engine needs (Sec. 4 of the paper):
   constant across integer cells so the surrogate matches the categorical
   (integer instance count) true objective;
 * exact GP regression via Cholesky factorization with log-marginal-
-  likelihood hyperparameter fitting (multi-restart L-BFGS-B);
+  likelihood hyperparameter fitting (multi-restart L-BFGS-B with analytic
+  kernel gradients) and incremental rank-1 conditioning
+  (:meth:`~repro.gp.regression.GaussianProcessRegressor.add_observation`);
 * acquisition functions — Expected Improvement (Ribbon's choice),
   Probability of Improvement and UCB.
 """
@@ -21,6 +23,7 @@ from repro.gp.kernels import (
     DotProduct,
     Kernel,
     Matern52,
+    PreparedInput,
     RationalQuadratic,
     RoundedKernel,
     WhiteNoise,
@@ -34,6 +37,7 @@ from repro.gp.acquisition import (
 
 __all__ = [
     "Kernel",
+    "PreparedInput",
     "Matern52",
     "RBF",
     "RationalQuadratic",

@@ -21,10 +21,18 @@ from repro.simulator.pool import PoolConfiguration
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.engine import InferenceServingSimulator
 from repro.simulator.events import EventHeapSimulator
+from repro.simulator.service import (
+    ServiceTimeCache,
+    service_time_matrix,
+    shared_service_cache,
+)
 
 __all__ = [
     "PoolConfiguration",
     "SimulationResult",
     "InferenceServingSimulator",
     "EventHeapSimulator",
+    "ServiceTimeCache",
+    "service_time_matrix",
+    "shared_service_cache",
 ]

@@ -13,29 +13,53 @@ simulation reduces to one pass over queries in arrival order, keeping a
 * if some instance is free at the arrival time, pick the lowest-index free
   instance (instances are laid out in type order, so this is exactly the
   type-order preference);
-* otherwise the query starts on ``argmin(free_at)`` at that instant.
+* otherwise the query starts on ``argmin(free_at)`` at that instant,
+  breaking ties toward the lowest index.
 
 This is an exact simulation of the queueing system, not an approximation —
 the event-heap engine in :mod:`repro.simulator.events` independently verifies
 it in the test suite.
 
 Performance notes (per the profiling-first HPC guidance this repo follows):
-service times are precomputed vectorized per (type, query) before the loop;
-the per-query loop body does O(#instances) scalar work on small arrays,
-which profiles faster than numpy reductions at these sizes.
+
+* service times come pre-noised from the per-workload
+  :class:`~repro.simulator.service.ServiceTimeCache`, so repeated pool
+  evaluations of one search never regenerate the lognormal draws;
+* dispatch runs in O(n log m) on two heaps — a min-heap of free instance
+  indices (type-order preference) and a min-heap of ``(free_at, index)``
+  busy instances (earliest-free with lowest-index tie-break, exactly the
+  linear scan's pick) — instead of the O(n·m) per-query scan, so large
+  saturated pools (20-50 instances) stop dominating search wall-clock.
+  The linear scan short-circuits on the first free instance, which makes
+  it O(1) per query on *underloaded* pools of any size, so ``auto`` picks
+  the heap only when the pool is big enough and the offered load (arrival
+  rate x mean service time, from the cached matrix) keeps most of it busy;
+  both paths produce bit-identical results (property-tested);
+* the waiting-queue tracker exploits that FCFS start times are monotone
+  non-decreasing: the queue length seen by arrival q is exactly
+  ``q - #{j < q : start_j <= t_q}``, maintained by one moving pointer over
+  the start list — O(n) total (it used to be a sorted list with
+  ``pop(0)``, degrading quadratically on saturated traces).
 """
 
 from __future__ import annotations
 
-import bisect
+from heapq import heapify, heappop, heappush, heapreplace
 
 import numpy as np
 
 from repro.models.base import ModelProfile
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.pool import PoolConfiguration
-from repro.simulator.service import service_time_matrix
+from repro.simulator.service import ServiceTimeCache, shared_service_cache
 from repro.workload.trace import QueryTrace
+
+#: Heap-dispatch threshold (measured crossover; both paths are exact, so
+#: this is purely a constant-factor policy).  The heap wins exactly when the
+#: linear scan stops short-circuiting on an early free instance — i.e. when
+#: the offered load occupies at least this fraction of the pool; on
+#: underloaded pools of any size the scan is O(1) per query and faster.
+_HEAP_MIN_OCCUPANCY = 0.8
 
 
 class InferenceServingSimulator:
@@ -48,15 +72,48 @@ class InferenceServingSimulator:
     track_queue:
         Record the waiting-queue length seen by every arrival (needed by the
         load-change detector; a small constant overhead).
+    service_cache:
+        Service-time matrix cache; defaults to the process-wide shared
+        instance so every simulator serving the same workload reuses one
+        matrix.  Pass ``ServiceTimeCache(maxsize=0)`` to disable caching.
+    dispatch:
+        ``"auto"`` (default) picks the linear scan for small pools and the
+        heap dispatcher for large ones; ``"linear"`` / ``"heap"`` force one
+        path (the equivalence test suite exercises both on equal inputs).
     """
 
-    def __init__(self, model: ModelProfile, *, track_queue: bool = True):
+    def __init__(
+        self,
+        model: ModelProfile,
+        *,
+        track_queue: bool = True,
+        service_cache: ServiceTimeCache | None = None,
+        dispatch: str = "auto",
+    ):
+        if dispatch not in ("auto", "linear", "heap"):
+            raise ValueError(
+                f"dispatch must be 'auto', 'linear' or 'heap', got {dispatch!r}"
+            )
         self._model = model
         self._track_queue = bool(track_queue)
+        self._service_cache = (
+            service_cache if service_cache is not None else shared_service_cache()
+        )
+        self._dispatch = dispatch
+        # Memoized pool expansions: searches re-simulate the same lattice
+        # vectors, and np.repeat + tolist is measurable per evaluation.
+        self._expand_cache: dict[
+            tuple[tuple[str, ...], tuple[int, ...]],
+            tuple[list[int], tuple[str, ...]],
+        ] = {}
 
     @property
     def model(self) -> ModelProfile:
         return self._model
+
+    @property
+    def service_cache(self) -> ServiceTimeCache:
+        return self._service_cache
 
     def simulate(
         self, trace: QueryTrace, pool: PoolConfiguration
@@ -78,33 +135,104 @@ class InferenceServingSimulator:
                 )
 
         n = len(trace)
-        type_of_instance, families = pool.expand()
-        n_instances = type_of_instance.size
+        expand_key = (pool.families, pool.counts)
+        expanded = self._expand_cache.get(expand_key)
+        if expanded is None:
+            type_of_instance, families = pool.expand()
+            expanded = (
+                type_of_instance.tolist(),
+                tuple(families[i] for i in type_of_instance.tolist()),
+            )
+            if len(self._expand_cache) < 4096:
+                self._expand_cache[expand_key] = expanded
+        type_list, instance_family = expanded
+        families = pool.families
+        n_instances = len(type_list)
 
-        # Vectorized precomputation: service time of every query on every
-        # pool dimension, shape (n_types, n), including latency noise.
-        service_by_type = service_time_matrix(self._model, trace, families)
+        # Per-(type, query) service times, noise included, cached per
+        # workload as python-list rows (the scalar loop's native format).
+        cache = self._service_cache
+        service_rows = cache.rows(self._model, trace, families)
 
-        arrivals = trace.arrival_s
-        free_at = np.zeros(n_instances, dtype=float)
-        busy = np.zeros(n_instances, dtype=float)
-        start_s = np.empty(n, dtype=float)
-        service_s = np.empty(n, dtype=float)
-        chosen = np.empty(n, dtype=np.int64)
-        queue_len = (
-            np.zeros(n, dtype=np.int64) if self._track_queue else np.empty(0)
+        if self._dispatch == "heap":
+            use_heap = True
+        elif self._dispatch == "linear" or n_instances < 2 or n == 0:
+            use_heap = False
+        else:
+            # Offered load in busy-instance units (Erlangs): arrival rate x
+            # mean service time per query (pool-mix average).  With caching
+            # disabled, derive the means from the rows already in hand
+            # rather than regenerating the matrix (policy-only estimate).
+            duration = trace.duration_s
+            if cache.maxsize > 0:
+                means = cache.row_means(self._model, trace, families)
+            else:
+                means = [float(sum(r)) / len(r) for r in service_rows]
+            offered = (
+                n
+                * (float(sum(means[t] for t in type_list)) / n_instances)
+                / duration
+                if duration > 0.0
+                else np.inf
+            )
+            use_heap = offered >= _HEAP_MIN_OCCUPANCY * n_instances
+        run = self._run_heap if use_heap else self._run_linear
+        starts, services, chosen, busy, queue_len, makespan = run(
+            cache.arrival_list(trace),
+            service_rows,
+            type_list,
+            n_instances,
         )
 
-        # Pending-start times of queries still waiting, for queue-length
-        # tracking only (a ring of the last `n_instances`+queue entries).
-        pending_starts: list[float] = []
+        arrivals = trace.arrival_s
+        start_s = np.asarray(starts, dtype=float)
+        service_s = np.asarray(services, dtype=float)
+        wait_s = start_s - arrivals
+        latency_s = wait_s + service_s
+        return SimulationResult(
+            latency_s=latency_s,
+            wait_s=wait_s,
+            service_s=service_s,
+            instance_index=np.asarray(chosen, dtype=np.int64),
+            instance_family=instance_family,
+            busy_s_per_instance=np.asarray(busy, dtype=float),
+            makespan_s=makespan if n else 0.0,
+            queue_len_at_arrival=(
+                np.asarray(queue_len, dtype=np.int64)
+                if self._track_queue
+                else np.empty(0)
+            ),
+        )
 
-        free_list = free_at.tolist()  # scalar loop is faster on plain lists
-        type_list = type_of_instance.tolist()
-        service_rows = [row.tolist() for row in service_by_type]
-        arrival_list = arrivals.tolist()
-        for q in range(n):
-            t = arrival_list[q]
+    # -- dispatch loops -----------------------------------------------------
+    def _run_linear(
+        self,
+        arrival_list: list[float],
+        service_rows: list[list[float]],
+        type_list: list[int],
+        n_instances: int,
+    ):
+        """O(n·m) scalar scan; fastest below the heap crossover."""
+        track = self._track_queue
+        if n_instances == 1:
+            return self._run_single(arrival_list, service_rows[type_list[0]])
+        rows = [service_rows[t] for t in type_list]
+        free_list = [0.0] * n_instances
+        busy = [0.0] * n_instances
+        starts: list[float] = []
+        services: list[float] = []
+        chosen: list[int] = []
+        queue_len: list[int] = []
+        # Queries before this pointer have started by the current arrival
+        # time (starts are monotone under FCFS, so one pointer suffices).
+        started = 0
+        # Bound methods: the loop body runs hundreds of thousands of times
+        # per search, where attribute lookups are a measurable cost.
+        starts_append = starts.append
+        services_append = services.append
+        chosen_append = chosen.append
+        queue_append = queue_len.append
+        for q, t in enumerate(arrival_list):
             # First free instance in type order, else earliest-free.
             best_i = 0
             best_free = free_list[0]
@@ -113,37 +241,108 @@ class InferenceServingSimulator:
                 for i in range(1, n_instances):
                     f = free_list[i]
                     if f <= t:
-                        best_i, best_free, found_free = i, f, True
+                        best_i, found_free = i, True
                         break
                     if f < best_free:
                         best_i, best_free = i, f
             start = t if found_free else best_free
-            s = service_rows[type_list[best_i]][q]
+            s = rows[best_i][q]
             free_list[best_i] = start + s
             busy[best_i] += s
-            start_s[q] = start
-            service_s[q] = s
-            chosen[q] = best_i
-            if self._track_queue:
+            starts_append(start)
+            services_append(s)
+            chosen_append(best_i)
+            if track:
                 # Queries that arrived earlier but have not started yet.
-                while pending_starts and pending_starts[0] <= t:
-                    pending_starts.pop(0)
-                queue_len[q] = len(pending_starts)
-                if start > t:
-                    # Keep sorted ascending by start time.
-                    bisect.insort(pending_starts, start)
+                while started < q and starts[started] <= t:
+                    started += 1
+                queue_append(q - started)
+        makespan = float(max(free_list)) if arrival_list else 0.0
+        return starts, services, chosen, busy, queue_len, makespan
 
-        wait_s = start_s - arrivals
-        latency_s = wait_s + service_s
-        makespan = float(max(free_list)) if n else 0.0
-        instance_family = tuple(families[i] for i in type_list)
-        return SimulationResult(
-            latency_s=latency_s,
-            wait_s=wait_s,
-            service_s=service_s,
-            instance_index=chosen,
-            instance_family=instance_family,
-            busy_s_per_instance=busy,
-            makespan_s=makespan,
-            queue_len_at_arrival=queue_len,
-        )
+    def _run_single(self, arrival_list: list[float], row: list[float]):
+        """Single-instance pools: dispatch degenerates to one clock."""
+        track = self._track_queue
+        free = 0.0
+        total_busy = 0.0
+        starts: list[float] = []
+        services: list[float] = []
+        queue_len: list[int] = []
+        started = 0
+        starts_append = starts.append
+        services_append = services.append
+        queue_append = queue_len.append
+        for q, t in enumerate(arrival_list):
+            start = t if free <= t else free
+            s = row[q]
+            free = start + s
+            total_busy += s
+            starts_append(start)
+            services_append(s)
+            if track:
+                while started < q and starts[started] <= t:
+                    started += 1
+                queue_append(q - started)
+        makespan = free if arrival_list else 0.0
+        return starts, services, [0] * len(arrival_list), [total_busy], queue_len, makespan
+
+    def _run_heap(
+        self,
+        arrival_list: list[float],
+        service_rows: list[list[float]],
+        type_list: list[int],
+        n_instances: int,
+    ):
+        """O(n log m) heap dispatch; bit-identical to the linear scan.
+
+        ``free`` holds indices of instances with ``free_at <= t`` (min-heap
+        => lowest index => type-order preference).  ``busy_heap`` holds
+        ``(free_at, index)`` pairs; its top is the earliest-free instance
+        with the lowest-index tie-break — exactly the linear scan's argmin.
+        """
+        track = self._track_queue
+        rows = [service_rows[t] for t in type_list]
+        free = list(range(n_instances))
+        heapify(free)
+        busy_heap: list[tuple[float, int]] = []
+        free_at = [0.0] * n_instances
+        busy = [0.0] * n_instances
+        starts: list[float] = []
+        services: list[float] = []
+        chosen: list[int] = []
+        queue_len: list[int] = []
+        started = 0
+        push, pop, replace = heappush, heappop, heapreplace
+        starts_append = starts.append
+        services_append = services.append
+        chosen_append = chosen.append
+        queue_append = queue_len.append
+        for q, t in enumerate(arrival_list):
+            while busy_heap and busy_heap[0][0] <= t:
+                push(free, pop(busy_heap)[1])
+            if free:
+                i = pop(free)
+                start = t
+                s = rows[i][q]
+                end = start + s
+                push(busy_heap, (end, i))
+            else:
+                # Saturated: the root instance serves this query; replace
+                # in place (one sift) instead of pop + push.  Tuples are
+                # strictly ordered (indices unique), so the pop sequence —
+                # the only observable — is unchanged.
+                start, i = busy_heap[0]
+                s = rows[i][q]
+                end = start + s
+                replace(busy_heap, (end, i))
+            free_at[i] = end
+            busy[i] += s
+            starts_append(start)
+            services_append(s)
+            chosen_append(i)
+            if track:
+                while started < q and starts[started] <= t:
+                    started += 1
+                queue_append(q - started)
+        makespan = float(max(free_at)) if arrival_list else 0.0
+        return starts, services, chosen, busy, queue_len, makespan

@@ -20,7 +20,7 @@ import numpy as np
 from repro.models.base import ModelProfile
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.pool import PoolConfiguration
-from repro.simulator.service import service_time_matrix
+from repro.simulator.service import ServiceTimeCache, shared_service_cache
 from repro.workload.trace import QueryTrace
 
 # Event kinds, ordered so that at equal timestamps instance completions are
@@ -33,8 +33,16 @@ _ARRIVAL = 1
 class EventHeapSimulator:
     """Reference FCFS simulator built on an explicit event heap."""
 
-    def __init__(self, model: ModelProfile):
+    def __init__(
+        self,
+        model: ModelProfile,
+        *,
+        service_cache: ServiceTimeCache | None = None,
+    ):
         self._model = model
+        self._service_cache = (
+            service_cache if service_cache is not None else shared_service_cache()
+        )
 
     @property
     def model(self) -> ModelProfile:
@@ -50,7 +58,7 @@ class EventHeapSimulator:
         type_of_instance, families = pool.expand()
         n_instances = type_of_instance.size
 
-        service_by_type = service_time_matrix(self._model, trace, families)
+        service_by_type = self._service_cache.matrix(self._model, trace, families)
 
         start_s = np.empty(n, dtype=float)
         service_s = np.empty(n, dtype=float)

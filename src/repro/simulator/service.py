@@ -12,9 +12,20 @@ Noise is generated deterministically from the trace seed and the family
 index (common random numbers): a given (trace, pool-families) pair always
 produces the same service-time matrix, so configuration evaluations are
 reproducible and identical across the fast and reference engines.
+
+Because the matrix only depends on ``(model, trace, families)`` — not on
+the per-family instance counts — every pool evaluation of one search reuses
+the same matrix.  :class:`ServiceTimeCache` memoizes it per workload (keyed
+on object identity with weakref-based eviction, LRU-bounded), so the
+lognormal generation is paid once per workload instead of once per
+configuration evaluation.  Cached matrices are returned read-only.
 """
 
 from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
 
 import numpy as np
 
@@ -30,7 +41,8 @@ def service_time_matrix(
     """Per-(family, query) service times in seconds, shape ``(n_fam, n)``.
 
     Row ``i`` holds the service time of every trace query if served on
-    family ``families[i]``, including that family's latency noise.
+    family ``families[i]``, including that family's latency noise.  This is
+    the uncached computation; hot paths go through :class:`ServiceTimeCache`.
     """
     n = len(trace)
     out = np.empty((len(families), n), dtype=float)
@@ -59,3 +71,228 @@ def _family_key(family: str) -> int:
     for ch in family.encode():
         key = ((key ^ ch) * 16777619) & 0xFFFFFFFF
     return key
+
+
+class ServiceTimeCache:
+    """Memo of :func:`service_time_matrix` results keyed per workload.
+
+    Keys are ``(id(model), id(trace), families)``: model and trace objects
+    are used by identity (they are large and not cheaply hashable), with a
+    ``weakref.finalize`` hook per object so entries are evicted as soon as
+    either participant is garbage collected — id reuse can never resurrect a
+    stale entry.  Entries are LRU-bounded by ``maxsize``; ``maxsize=0``
+    disables caching (every call recomputes).
+
+    The cache is thread-safe (``run_many(parallel=True)`` evaluates on a
+    thread pool) and returns read-only arrays, so one matrix can back any
+    number of concurrent simulations.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize!r}")
+        self._maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        # Lazily materialized list-of-lists views of cached matrices and
+        # per-trace arrival lists: the scalar dispatch loop runs on plain
+        # python lists, and the ndarray->list conversion is a measurable
+        # per-evaluation cost.  Consumers must treat them as read-only.
+        self._rows: dict[tuple, list[list[float]]] = {}
+        self._arrivals: dict[int, list[float]] = {}
+        self._keys_by_id: dict[int, set[tuple]] = {}
+        # Object ids with a registered finalizer: registration must survive
+        # LRU churn emptying a key set, or every re-insertion would stack
+        # another finalizer on long-lived objects.  Entries are discarded in
+        # _drop_id, which runs at object death — before the id can be reused.
+        self._finalized_ids: set[int] = set()
+        self._arrival_finalized_ids: set[int] = set()
+        # Reentrant: a GC-triggered finalizer may fire while a cache method
+        # already holds the lock on the same thread.
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def matrix(
+        self,
+        model: ModelProfile,
+        trace: QueryTrace,
+        families: tuple[str, ...],
+    ) -> np.ndarray:
+        """The (cached) service-time matrix for one workload; read-only."""
+        fams = tuple(families)
+        key = (id(model), id(trace), fams)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return hit
+            self.misses += 1
+        out = service_time_matrix(model, trace, fams)
+        out.flags.writeable = False
+        if self._maxsize == 0:
+            return out
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = out
+                self._track(model, key)
+                self._track(trace, key)
+                while len(self._entries) > self._maxsize:
+                    old_key, _ = self._entries.popitem(last=False)
+                    self._rows.pop(old_key, None)
+                    self._rows.pop(old_key + ("means",), None)
+                    self._untrack(old_key)
+            return self._entries[key]
+
+    def rows(
+        self,
+        model: ModelProfile,
+        trace: QueryTrace,
+        families: tuple[str, ...],
+    ) -> list[list[float]]:
+        """The matrix as a list of per-family rows (read-only by contract)."""
+        fams = tuple(families)
+        key = (id(model), id(trace), fams)
+        with self._lock:
+            hit = self._rows.get(key)
+            if hit is not None:
+                self.hits += 1
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                return hit
+        matrix = self.matrix(model, trace, fams)
+        rows = [row.tolist() for row in matrix]
+        if self._maxsize == 0:
+            return rows
+        with self._lock:
+            # Only attach to a live matrix entry so eviction stays in sync.
+            if key in self._entries:
+                self._rows.setdefault(key, rows)
+                return self._rows[key]
+            return rows
+
+    def row_means(
+        self,
+        model: ModelProfile,
+        trace: QueryTrace,
+        families: tuple[str, ...],
+    ) -> np.ndarray:
+        """Mean service time per family row (used by the dispatch policy)."""
+        fams = tuple(families)
+        key = (id(model), id(trace), fams, "means")
+        with self._lock:
+            hit = self._rows.get(key)
+            if hit is not None:
+                base_key = key[:3]
+                if base_key in self._entries:
+                    self._entries.move_to_end(base_key)
+                return hit  # type: ignore[return-value]
+        means = self.matrix(model, trace, fams).mean(axis=1)
+        means.flags.writeable = False
+        if self._maxsize == 0:
+            return means
+        with self._lock:
+            if (key[0], key[1], fams) in self._entries:
+                self._rows.setdefault(key, means)  # type: ignore[arg-type]
+            return means
+
+    def arrival_list(self, trace: QueryTrace) -> list[float]:
+        """``trace.arrival_s.tolist()``, cached per trace object."""
+        if self._maxsize == 0:
+            return trace.arrival_s.tolist()
+        obj_id = id(trace)
+        with self._lock:
+            hit = self._arrivals.get(obj_id)
+            if hit is not None:
+                return hit
+        arrivals = trace.arrival_s.tolist()
+        with self._lock:
+            if obj_id not in self._arrivals:
+                self._arrivals[obj_id] = arrivals
+                if obj_id not in self._arrival_finalized_ids:
+                    self._arrival_finalized_ids.add(obj_id)
+                    weakref.finalize(
+                        trace, _finalize_drop_arrivals, weakref.ref(self), obj_id
+                    )
+            return self._arrivals[obj_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._rows.clear()
+            self._arrivals.clear()
+            self._keys_by_id.clear()
+            # _finalized_ids is kept: the finalizers stay registered on the
+            # (still live) objects and must not be stacked again.
+
+    # -- internals ----------------------------------------------------------
+    def _track(self, obj, key: tuple) -> None:
+        keys = self._keys_by_id.setdefault(id(obj), set())
+        if id(obj) not in self._finalized_ids:
+            # First sighting of this object: drop all its keys when it dies.
+            # The finalizer must hold the cache weakly — a bound method
+            # would pin the cache for the tracked object's lifetime, which
+            # for model-zoo singletons is the process lifetime.
+            self._finalized_ids.add(id(obj))
+            weakref.finalize(obj, _finalize_drop_id, weakref.ref(self), id(obj))
+        keys.add(key)
+
+    def _untrack(self, key: tuple) -> None:
+        for obj_id in (key[0], key[1]):
+            keys = self._keys_by_id.get(obj_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._keys_by_id[obj_id]
+
+    def _drop_arrivals(self, obj_id: int) -> None:
+        with self._lock:
+            self._arrival_finalized_ids.discard(obj_id)
+            self._arrivals.pop(obj_id, None)
+
+    def _drop_id(self, obj_id: int) -> None:
+        with self._lock:
+            self._finalized_ids.discard(obj_id)
+            for key in self._keys_by_id.pop(obj_id, ()):
+                self._entries.pop(key, None)
+                self._rows.pop(key, None)
+                self._rows.pop(key + ("means",), None)
+                # The partner object may still track this key.
+                for other in (key[0], key[1]):
+                    if other != obj_id:
+                        other_keys = self._keys_by_id.get(other)
+                        if other_keys is not None:
+                            other_keys.discard(key)
+                            if not other_keys:
+                                del self._keys_by_id[other]
+
+
+def _finalize_drop_id(cache_ref: "weakref.ref[ServiceTimeCache]", obj_id: int) -> None:
+    cache = cache_ref()
+    if cache is not None:
+        cache._drop_id(obj_id)
+
+
+def _finalize_drop_arrivals(
+    cache_ref: "weakref.ref[ServiceTimeCache]", obj_id: int
+) -> None:
+    cache = cache_ref()
+    if cache is not None:
+        cache._drop_arrivals(obj_id)
+
+
+#: Process-wide default cache: every simulator shares it unless given an
+#: explicit (e.g. isolated-for-testing) instance.
+_SHARED_CACHE = ServiceTimeCache()
+
+
+def shared_service_cache() -> ServiceTimeCache:
+    """The process-wide :class:`ServiceTimeCache` instance."""
+    return _SHARED_CACHE

@@ -76,3 +76,98 @@ def test_three_type_pool_equivalence():
     ref = EventHeapSimulator(model).simulate(trace, pool)
     np.testing.assert_allclose(fast.latency_s, ref.latency_s, rtol=1e-12, atol=1e-12)
     assert fast.queries_per_family() == ref.queries_per_family()
+
+
+# -- heap dispatcher: bit-identical to the reference on adversarial pools ------
+
+
+def assert_dispatch_modes_match_reference(model, trace, pool):
+    """Both forced dispatch paths must equal the event-heap reference bit-for-bit."""
+    ref = EventHeapSimulator(model).simulate(trace, pool)
+    for mode in ("linear", "heap"):
+        sim = InferenceServingSimulator(model, track_queue=True, dispatch=mode)
+        res = sim.simulate(trace, pool)
+        np.testing.assert_array_equal(res.latency_s, ref.latency_s, err_msg=mode)
+        np.testing.assert_array_equal(res.wait_s, ref.wait_s, err_msg=mode)
+        np.testing.assert_array_equal(
+            res.instance_index, ref.instance_index, err_msg=mode
+        )
+        np.testing.assert_array_equal(
+            res.queue_len_at_arrival, ref.queue_len_at_arrival, err_msg=mode
+        )
+        np.testing.assert_array_equal(
+            res.busy_s_per_instance, ref.busy_s_per_instance, err_msg=mode
+        )
+        assert res.makespan_s == ref.makespan_s
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_heap_dispatch_single_instance(seed):
+    model = make_toy_model(noise={"g4dn": 0.1, "t3": 0.2})
+    trace = random_trace(seed, 250)
+    assert_dispatch_modes_match_reference(
+        model, trace, PoolConfiguration.homogeneous("g4dn", 1)
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    g=st.integers(min_value=8, max_value=16),
+    c=st.integers(min_value=8, max_value=12),
+    t=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=15, deadline=None)
+def test_heap_dispatch_large_pools(seed, g, c, t):
+    """30+-instance pools, the heap dispatcher's target regime."""
+    model = make_toy_model(noise={"g4dn": 0.05, "c5": 0.1, "t3": 0.2})
+    trace = random_trace(seed, 300)
+    assert_dispatch_modes_match_reference(
+        model, trace, PoolConfiguration(("g4dn", "c5", "t3"), (g, c, t))
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_heap_dispatch_zero_noise_ties(seed):
+    """Zero-noise families produce massive free_at ties — the tie-break is
+    part of the dispatch contract and must match in both paths."""
+    model = make_toy_model(noise=0.0)
+    trace = random_trace(seed, 250)
+    assert_dispatch_modes_match_reference(
+        model, trace, PoolConfiguration(("g4dn", "c5", "t3"), (4, 4, 4))
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_heap_dispatch_heavy_saturation(seed):
+    """Far more offered load than capacity: queues thousands deep."""
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / 2000.0, size=800))
+    batches = np.clip(
+        np.rint(rng.lognormal(np.log(40.0), 0.8, size=800)), 1, 256
+    ).astype(np.int64)
+    trace = QueryTrace(arrivals, batches, rate_qps=2000.0, seed=seed)
+    model = make_toy_model(noise={"g4dn": 0.1, "t3": 0.25})
+    assert_dispatch_modes_match_reference(
+        model, trace, PoolConfiguration(("g4dn", "t3"), (2, 1))
+    )
+
+
+def test_auto_dispatch_equals_forced_paths(toy_model, toy_trace):
+    pool = PoolConfiguration(("g4dn", "t3"), (2, 3))
+    auto = InferenceServingSimulator(toy_model, dispatch="auto").simulate(
+        toy_trace, pool
+    )
+    linear = InferenceServingSimulator(toy_model, dispatch="linear").simulate(
+        toy_trace, pool
+    )
+    np.testing.assert_array_equal(auto.latency_s, linear.latency_s)
+
+
+def test_invalid_dispatch_mode_rejected(toy_model):
+    import pytest
+
+    with pytest.raises(ValueError, match="dispatch"):
+        InferenceServingSimulator(toy_model, dispatch="quantum")

@@ -106,3 +106,33 @@ class TestFork:
         ev2 = ConfigurationEvaluator(toy_model, toy_trace, obj, qos_target_ms=100.0)
         rec_loose = ev2.evaluate(toy_space.pool((4, 0)))
         assert rec_loose.qos_rate >= rec_tight.qos_rate
+
+
+class TestRunningAccumulators:
+    """exploration_cost_dollars / n_violating_evaluations are O(1) counters."""
+
+    def test_accumulators_match_history_resum(self, toy_evaluator, toy_space):
+        for counts in ((1, 0), (0, 1), (2, 3), (4, 6), (1, 1)):
+            toy_evaluator.evaluate(toy_space.pool(counts))
+        history = toy_evaluator.history
+        expected_cost = sum(r.cost_per_hour for r in history) * (
+            toy_evaluator.eval_duration_hours
+        )
+        assert toy_evaluator.exploration_cost_dollars == expected_cost
+        assert toy_evaluator.n_violating_evaluations == sum(
+            1 for r in history if not r.meets_qos
+        )
+
+    def test_cache_hits_do_not_double_count(self, toy_evaluator, toy_space):
+        pool = toy_space.pool((2, 2))
+        toy_evaluator.evaluate(pool)
+        cost_once = toy_evaluator.exploration_cost_dollars
+        violating_once = toy_evaluator.n_violating_evaluations
+        toy_evaluator.evaluate(pool)
+        assert toy_evaluator.exploration_cost_dollars == cost_once
+        assert toy_evaluator.n_violating_evaluations == violating_once
+
+    def test_empty_pool_counts_as_violation(self, toy_evaluator, toy_space):
+        toy_evaluator.evaluate(toy_space.pool((0, 0)))
+        assert toy_evaluator.n_violating_evaluations == 1
+        assert toy_evaluator.exploration_cost_dollars == 0.0

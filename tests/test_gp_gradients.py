@@ -1,0 +1,217 @@
+"""Analytic kernel/likelihood gradients against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.gp.kernels import (
+    RBF,
+    ConstantScale,
+    DotProduct,
+    Kernel,
+    Matern52,
+    RationalQuadratic,
+    RoundedKernel,
+    SumKernel,
+    WhiteNoise,
+)
+from repro.gp.regression import GaussianProcessRegressor
+
+
+def fd_theta_gradient(kernel, X, eps=1e-6):
+    """Central finite differences of K w.r.t. the log-space theta vector."""
+    theta0 = kernel.get_theta().copy()
+    grads = []
+    for j in range(len(theta0)):
+        up, down = theta0.copy(), theta0.copy()
+        up[j] += eps
+        down[j] -= eps
+        kernel.set_theta(up)
+        K_up = kernel(X, X)
+        kernel.set_theta(down)
+        K_down = kernel(X, X)
+        grads.append((K_up - K_down) / (2.0 * eps))
+    kernel.set_theta(theta0)
+    return grads
+
+
+def all_kernels():
+    return [
+        Matern52(length_scale=0.4, variance=1.3),
+        RBF(length_scale=0.6, variance=0.8),
+        RationalQuadratic(length_scale=0.5, alpha=1.7, variance=1.1),
+        DotProduct(sigma0=0.7, variance=0.9),
+        WhiteNoise(noise=1e-3),
+        RoundedKernel(Matern52(0.3, 1.0), scale=np.array([5.0, 7.0])),
+        ConstantScale(Matern52(0.4), variance=2.0),
+        SumKernel(Matern52(0.4), WhiteNoise(1e-3)),
+        ConstantScale(SumKernel(RBF(0.5), WhiteNoise(1e-4)), variance=1.5),
+    ]
+
+
+@pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: repr(k)[:40])
+def test_theta_gradient_matches_finite_differences(kernel):
+    rng = np.random.default_rng(3)
+    X = rng.uniform(size=(12, 2))
+    assert kernel.has_analytic_gradient
+    analytic = kernel.theta_gradient(X, X)
+    numeric = fd_theta_gradient(kernel, X)
+    assert len(analytic) == kernel.n_params
+    for a, n in zip(analytic, numeric):
+        np.testing.assert_allclose(a, n, rtol=1e-5, atol=1e-7)
+
+
+@pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: repr(k)[:40])
+def test_prepared_pipeline_matches_direct_call(kernel):
+    """__call__, eval_state and the fused path agree bit-for-bit."""
+    rng = np.random.default_rng(4)
+    X1 = rng.uniform(size=(9, 2))
+    X2 = rng.uniform(size=(5, 2))
+    direct = kernel(X1, X2)
+    state = kernel.cross_state(
+        kernel.precompute_input(X1), kernel.precompute_input(X2)
+    )
+    np.testing.assert_array_equal(direct, kernel.eval_state(state))
+    K, grads = kernel.eval_and_gradient_state(state)
+    np.testing.assert_array_equal(direct, K)
+    for fused, plain in zip(grads, kernel.gradient_state(state, K)):
+        np.testing.assert_array_equal(fused, plain)
+
+
+def test_matern_workspace_variant_is_bit_identical():
+    kernel = Matern52(0.35, 1.2)
+    rng = np.random.default_rng(5)
+    pi = kernel.precompute_input(rng.uniform(size=(20, 3)))
+    state = kernel.cross_state(pi, pi)
+    K_plain, grads_plain = kernel.eval_and_gradient_state(state)
+    ws: dict = {}
+    K_ws, grads_ws = kernel.eval_and_gradient_state(state, ws)
+    np.testing.assert_array_equal(K_plain, K_ws)
+    for a, b in zip(grads_plain, grads_ws):
+        np.testing.assert_array_equal(a, b)
+    # The workspace is reused across calls: same buffers, same values.
+    K_ws2, _ = kernel.eval_and_gradient_state(state, ws)
+    assert K_ws2 is K_ws
+
+
+def test_kernel_diag_matches_full_matrix():
+    rng = np.random.default_rng(6)
+    X = rng.uniform(size=(15, 2))
+    for kernel in all_kernels():
+        pi = kernel.precompute_input(X)
+        full = np.diag(kernel(X, X))
+        fast = kernel.diag(pi)
+        np.testing.assert_allclose(fast, full, rtol=1e-12, atol=1e-12)
+
+
+class _NumericOnly(Kernel):
+    """A custom kernel without analytic gradients (compat path)."""
+
+    def __init__(self):
+        self.scale = 1.0
+
+    def eval_state(self, state):
+        pi1, pi2 = state
+        return self.scale * np.exp(-np.abs(pi1.x[:, None, 0] - pi2.x[None, :, 0]))
+
+    def get_theta(self):
+        return np.log([self.scale])
+
+    def set_theta(self, theta):
+        (self.scale,) = np.exp(np.asarray(theta, dtype=float))
+
+    def theta_bounds(self):
+        return [(np.log(1e-2), np.log(1e2))]
+
+
+class _LegacyCallKernel(Kernel):
+    """Pre-prepared-state custom kernel: implements only ``__call__``."""
+
+    def __init__(self):
+        self.scale = 1.0
+
+    def __call__(self, X1, X2):
+        X1 = np.asarray(X1, dtype=float)
+        X2 = np.asarray(X2, dtype=float)
+        return self.scale * np.exp(
+            -np.abs(X1[:, None, 0] - X2[None, :, 0])
+        )
+
+    def get_theta(self):
+        return np.log([self.scale])
+
+    def set_theta(self, theta):
+        (self.scale,) = np.exp(np.asarray(theta, dtype=float))
+
+    def theta_bounds(self):
+        return [(np.log(1e-2), np.log(1e2))]
+
+
+def test_legacy_call_only_kernel_still_works():
+    kernel = _LegacyCallKernel()  # must instantiate (no abstract eval_state)
+    rng = np.random.default_rng(9)
+    X = rng.uniform(size=(8, 1))
+    y = np.sin(3.0 * X).ravel()
+    gp = GaussianProcessRegressor(kernel, noise=1e-6, optimize_hyperparameters=True)
+    gp.fit(X, y)
+    mean, std = gp.predict(X, return_std=True)
+    np.testing.assert_allclose(mean, y, atol=1e-3)
+    assert np.all(std >= 0)
+
+
+def test_custom_kernel_without_gradients_still_fits():
+    kernel = _NumericOnly()
+    assert not kernel.has_analytic_gradient
+    with pytest.raises(NotImplementedError):
+        kernel.theta_gradient(np.zeros((2, 1)), np.zeros((2, 1)))
+    rng = np.random.default_rng(7)
+    X = rng.uniform(size=(10, 1))
+    y = np.sin(4.0 * X).ravel()
+    gp = GaussianProcessRegressor(kernel, noise=1e-6, optimize_hyperparameters=True)
+    gp.fit(X, y)  # finite-difference fallback
+    assert np.isfinite(gp.log_marginal_likelihood())
+
+
+def test_analytic_lml_gradient_matches_finite_differences():
+    rng = np.random.default_rng(8)
+    X = rng.uniform(size=(14, 2))
+    y = np.sin(X.sum(axis=1) * 2.0)
+    # Rounding duplicates rows, so a larger noise keeps K well-conditioned —
+    # otherwise the finite-difference reference (not the analytic gradient)
+    # becomes numerically meaningless.
+    gp = GaussianProcessRegressor(
+        RoundedKernel(Matern52(0.3), scale=np.array([5.0, 6.0])),
+        noise=1e-3,
+        optimize_hyperparameters=False,
+    ).fit(X, y)
+    fun = gp._make_analytic_objective()
+    theta = gp.kernel.get_theta().copy()
+    val, grad = fun(theta)
+    eps = 1e-6
+    for j in range(len(theta)):
+        up, down = theta.copy(), theta.copy()
+        up[j] += eps
+        down[j] -= eps
+        num = (fun(up)[0] - fun(down)[0]) / (2.0 * eps)
+        assert grad[j] == pytest.approx(num, rel=1e-4, abs=1e-6)
+    # Value agrees with the public likelihood (up to sign).
+    assert val == pytest.approx(-gp.log_marginal_likelihood(theta), rel=1e-12)
+
+
+def test_legacy_diag_override_gets_arrays():
+    """predict() must honor a custom diag(X) written to the array contract."""
+
+    class LegacyDiag(_LegacyCallKernel):
+        def diag(self, X):
+            X = np.asarray(X, dtype=float)
+            return self.scale * np.ones(X.shape[0])
+
+    rng = np.random.default_rng(10)
+    X = rng.uniform(size=(6, 1))
+    y = np.sin(2.0 * X).ravel()
+    gp = GaussianProcessRegressor(
+        LegacyDiag(), noise=1e-6, optimize_hyperparameters=False
+    ).fit(X, y)
+    grid = rng.uniform(size=(5, 1))
+    mean, std = gp.predict(grid, return_std=True)
+    assert std.shape == (5,)
+    assert np.all(np.isfinite(std))

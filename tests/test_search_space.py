@@ -5,7 +5,7 @@ import pytest
 
 from repro.cloud.catalog import DEFAULT_CATALOG
 from repro.core.search_space import SearchSpace, estimate_instance_bounds
-from repro.simulator.pool import PoolConfiguration
+from repro.simulator.pool import PoolConfiguration, grid_vectors
 from tests.conftest import make_toy_model, make_toy_trace
 
 
@@ -114,3 +114,35 @@ class TestBoundEstimation:
         space = estimate_instance_bounds(model, trace, ("g4dn", "t3"), hard_cap=8)
         assert isinstance(space, SearchSpace)
         assert space.families == ("g4dn", "t3")
+
+
+class TestCachedGeometry:
+    """grid()/grid_unit()/prices are built once and returned read-only."""
+
+    def test_grid_cached_and_read_only(self):
+        space = SearchSpace(("g4dn", "t3"), (2, 3))
+        grid = space.grid()
+        assert space.grid() is grid
+        with pytest.raises(ValueError):
+            grid[0, 0] = 99
+        np.testing.assert_array_equal(grid, grid_vectors((2, 3)))
+
+    def test_grid_unit_cached_and_consistent(self):
+        space = SearchSpace(("g4dn", "t3"), (2, 3))
+        unit = space.grid_unit()
+        assert space.grid_unit() is unit
+        np.testing.assert_array_equal(unit, space.normalize(space.grid()))
+        with pytest.raises(ValueError):
+            unit[0, 0] = 0.5
+
+    def test_prices_cached_and_read_only(self):
+        space = SearchSpace(("g4dn", "t3"), (2, 3))
+        prices = space.prices
+        assert space.prices is prices
+        with pytest.raises(ValueError):
+            prices[0] = 0.0
+
+    def test_caches_are_per_instance(self):
+        a = SearchSpace(("g4dn", "t3"), (2, 3))
+        b = SearchSpace(("g4dn", "t3"), (2, 4))
+        assert a.grid().shape != b.grid().shape
