@@ -46,6 +46,7 @@ from repro.gp.regression import GaussianProcessRegressor
 from repro.models.zoo import get_model
 from repro.simulator.engine import InferenceServingSimulator
 from repro.simulator.pool import PoolConfiguration
+from repro.simulator.result_cache import SimulationResultCache
 from repro.simulator.service import ServiceTimeCache
 from repro.workload.trace import trace_for_model
 
@@ -83,7 +84,12 @@ def _one_pass(spec, model, trace, objective):
     results = {}
     t0 = time.perf_counter()
     for seed in spec["search_seeds"]:
-        evaluator = ConfigurationEvaluator(model, trace, objective)
+        # The whole-result memo is disabled so this artifact keeps timing
+        # the search core itself (the baseline predates the memo); the
+        # memo's own trajectory lives in BENCH_memo_sweep.json.
+        evaluator = ConfigurationEvaluator(
+            model, trace, objective, result_cache=SimulationResultCache(maxsize=0)
+        )
         results[seed] = RibbonOptimizer(
             max_samples=spec["max_samples"], seed=seed
         ).search(evaluator)
@@ -169,8 +175,11 @@ def test_perf_heap_vs_linear_dispatch_saturated(benchmark, search_ctx):
     """The heap dispatcher must beat the scan on a saturated large pool."""
     _, model, trace, space, _ = search_ctx
     pool = PoolConfiguration(space.families, (8, 8, 8))
-    heap_sim = InferenceServingSimulator(model, dispatch="heap")
-    linear_sim = InferenceServingSimulator(model, dispatch="linear")
+    no_memo = SimulationResultCache(maxsize=0)  # time dispatch, not the memo
+    heap_sim = InferenceServingSimulator(model, dispatch="heap", result_cache=no_memo)
+    linear_sim = InferenceServingSimulator(
+        model, dispatch="linear", result_cache=no_memo
+    )
     heap_sim.simulate(trace, pool)  # warm caches
 
     res = benchmark(heap_sim.simulate, trace, pool)

@@ -19,7 +19,13 @@ from repro.models.zoo import get_model
 from repro.simulator.engine import InferenceServingSimulator
 from repro.simulator.events import EventHeapSimulator
 from repro.simulator.pool import PoolConfiguration
+from repro.simulator.result_cache import SimulationResultCache
 from repro.workload.trace import trace_for_model
+
+# These benches time the dispatch/search loops themselves, so the
+# whole-result memo (which would turn every repeat into a dict hit) is
+# disabled; bench_memo_sweep.py measures the memo.
+_NO_MEMO = {"result_cache": SimulationResultCache(maxsize=0)}
 
 
 @pytest.fixture(scope="module")
@@ -32,14 +38,14 @@ def workload():
 
 def test_perf_fast_engine(benchmark, workload):
     model, trace, pool = workload
-    sim = InferenceServingSimulator(model, track_queue=False)
+    sim = InferenceServingSimulator(model, track_queue=False, **_NO_MEMO)
     res = benchmark(sim.simulate, trace, pool)
     assert len(res) == len(trace)
 
 
 def test_perf_fast_engine_with_queue_tracking(benchmark, workload):
     model, trace, pool = workload
-    sim = InferenceServingSimulator(model, track_queue=True)
+    sim = InferenceServingSimulator(model, track_queue=True, **_NO_MEMO)
     res = benchmark(sim.simulate, trace, pool)
     assert res.queue_len_at_arrival.size == len(trace)
 
@@ -76,7 +82,7 @@ def test_perf_full_ribbon_search(benchmark, workload):
     objective = RibbonObjective(space)
 
     def search():
-        evaluator = ConfigurationEvaluator(model, trace, objective)
+        evaluator = ConfigurationEvaluator(model, trace, objective, **_NO_MEMO)
         return RibbonOptimizer(max_samples=20, seed=0).search(evaluator)
 
     result = benchmark.pedantic(search, rounds=2, iterations=1)

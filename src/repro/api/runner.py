@@ -32,6 +32,10 @@ from repro.core.search_space import SearchSpace, estimate_instance_bounds
 from repro.core.strategy import SearchStrategy
 from repro.models.base import ModelProfile
 from repro.simulator.pool import PoolConfiguration
+from repro.simulator.result_cache import (
+    SimulationResultCache,
+    shared_simulation_cache,
+)
 from repro.simulator.service import ServiceTimeCache, shared_service_cache
 from repro.workload.trace import QueryTrace, trace_for_model
 
@@ -90,6 +94,14 @@ class ScenarioRunner:
         Service-time matrix cache handed to every evaluator this runner
         builds; defaults to the process-wide shared cache.  :meth:`fork`
         propagates the parent's cache so load-change phases share it.
+    simulation_cache:
+        Whole-simulation result memo handed to every evaluator this
+        runner builds; defaults to the process-wide shared cache, making
+        overlapping configurations free across seeds of a
+        :meth:`run_many` sweep and across load-change forks.  Pass
+        ``SimulationResultCache(maxsize=0)`` to opt out of memoization
+        (every evaluation re-simulates).  :meth:`cache_stats` reports
+        hit/miss/eviction counters for both caches.
     """
 
     def __init__(
@@ -99,6 +111,7 @@ class ScenarioRunner:
         space: SearchSpace | None = None,
         objective: RibbonObjective | None = None,
         service_cache: ServiceTimeCache | None = None,
+        simulation_cache: SimulationResultCache | None = None,
     ):
         if not isinstance(scenario, Scenario):
             raise ScenarioError(
@@ -109,6 +122,11 @@ class ScenarioRunner:
         self._shared_objective = objective
         self._service_cache = (
             service_cache if service_cache is not None else shared_service_cache()
+        )
+        self._simulation_cache = (
+            simulation_cache
+            if simulation_cache is not None
+            else shared_simulation_cache()
         )
         # LRU per trace seed: materializations hold full traces and every
         # simulated record, so a wide follow-seed sweep must not pin them
@@ -195,6 +213,7 @@ class ScenarioRunner:
             qos_target_ms=target_ms,
             eval_duration_hours=scn.budget.eval_duration_hours,
             service_cache=self._service_cache,
+            result_cache=self._simulation_cache,
         )
         return MaterializedScenario(
             scenario=scn,
@@ -210,6 +229,32 @@ class ScenarioRunner:
         """The scenario's evaluator (``fresh`` forks isolated accounting)."""
         mat = self.materialize(seed)
         return mat.fresh_evaluator() if fresh else mat.evaluator
+
+    # -- cache introspection ----------------------------------------------------------
+    @property
+    def simulation_cache(self) -> SimulationResultCache:
+        """The whole-simulation memo this runner's evaluators share."""
+        return self._simulation_cache
+
+    @property
+    def service_cache(self) -> ServiceTimeCache:
+        """The service-time matrix cache this runner's evaluators share."""
+        return self._service_cache
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/eviction counters of both process-level caches.
+
+        Keys: ``"simulation"`` (the :class:`SimulationResultCache` —
+        whole-result reuse across seeds/forks) and ``"service"`` (the
+        :class:`ServiceTimeCache` — per-workload service-time matrices).
+        Counters are cumulative over each cache's lifetime; with the
+        default process-wide caches that spans every runner in the
+        process, not just this one.
+        """
+        return {
+            "simulation": self._simulation_cache.stats(),
+            "service": self._service_cache.stats(),
+        }
 
     # -- search ---------------------------------------------------------------------
     def run(
@@ -361,6 +406,7 @@ class ScenarioRunner:
             space=mat.space,
             objective=mat.objective,
             service_cache=self._service_cache,
+            simulation_cache=self._simulation_cache,
         )
 
     def homogeneous_optimum(

@@ -19,6 +19,7 @@ from repro.models.base import ModelProfile
 from repro.simulator.engine import InferenceServingSimulator
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.pool import PoolConfiguration
+from repro.simulator.result_cache import SimulationResultCache
 from repro.simulator.service import ServiceTimeCache
 from repro.workload.trace import QueryTrace
 
@@ -65,10 +66,26 @@ class ConfigurationEvaluator:
     eval_duration_hours:
         Wall-clock cost attributed to one evaluation when accounting
         exploration dollars (the paper deploys each sampled configuration
-        for a fixed observation window).  Defaults to the trace duration.
+        for a fixed observation window).  Defaults to the trace duration;
+        a *defaulted* window is re-derived from the new trace on
+        :meth:`fork`, while an explicit one is kept.
     service_cache:
         Service-time matrix cache handed to the simulator (and propagated
         by :meth:`fork`); defaults to the process-wide shared cache.
+    result_cache:
+        Whole-simulation memo handed to the simulator (and propagated by
+        :meth:`fork`); defaults to the process-wide shared cache, making
+        re-evaluations of one configuration free *across* evaluators —
+        every seed of a sweep, every load-change fork.  Pass
+        ``SimulationResultCache(maxsize=0)`` to opt out.
+
+    Raises
+    ------
+    ValueError
+        If the trace is empty: a zero-query window vacuously satisfies
+        any QoS at zero cost (see
+        :class:`~repro.simulator.metrics.SimulationResult`), so letting
+        it into a search would crown an idle window the winner.
     """
 
     def __init__(
@@ -80,7 +97,14 @@ class ConfigurationEvaluator:
         qos_target_ms: float | None = None,
         eval_duration_hours: float | None = None,
         service_cache: ServiceTimeCache | None = None,
+        result_cache: SimulationResultCache | None = None,
     ):
+        if len(trace) == 0:
+            raise ValueError(
+                "trace has no queries: an empty window is vacuously "
+                "QoS-perfect and costless, which would corrupt the search; "
+                "evaluate against a non-empty trace"
+            )
         self._model = model
         self._trace = trace
         self._objective = objective
@@ -89,13 +113,21 @@ class ConfigurationEvaluator:
         )
         if self._qos_target_ms <= 0:
             raise ValueError("qos_target_ms must be positive")
+        # Whether the accounting window was pinned by the caller: a pinned
+        # window survives fork() onto a different-duration trace, a
+        # defaulted one is re-derived from the new trace (Fig. 13/14
+        # exploration dollars must track the trace actually served).
+        self._eval_hours_explicit = eval_duration_hours is not None
         self._eval_hours = (
             float(eval_duration_hours)
             if eval_duration_hours is not None
             else trace.duration_s / 3600.0
         )
         self._sim = InferenceServingSimulator(
-            model, track_queue=True, service_cache=service_cache
+            model,
+            track_queue=True,
+            service_cache=service_cache,
+            result_cache=result_cache,
         )
         self._cache: dict[tuple[int, ...], EvaluationRecord] = {}
         self._history: list[EvaluationRecord] = []
@@ -216,12 +248,21 @@ class ConfigurationEvaluator:
         return min(meeting, key=lambda r: r.cost_per_hour)
 
     def fork(self, trace: QueryTrace) -> "ConfigurationEvaluator":
-        """A fresh evaluator on a different trace (load-change experiments)."""
+        """A fresh evaluator on a different trace (load-change experiments).
+
+        An explicitly pinned ``eval_duration_hours`` is inherited; a
+        window that was *defaulted* from the parent's trace duration is
+        re-defaulted from ``trace`` (passing the parent's stale window
+        would misprice exploration dollars on a different-duration trace).
+        """
         return ConfigurationEvaluator(
             self._model,
             trace,
             self._objective,
             qos_target_ms=self._qos_target_ms,
-            eval_duration_hours=self._eval_hours,
+            eval_duration_hours=(
+                self._eval_hours if self._eval_hours_explicit else None
+            ),
             service_cache=self._sim.service_cache,
+            result_cache=self._sim.result_cache,
         )

@@ -15,12 +15,23 @@ paper).  Two independently written engines are provided:
 Both report the same :class:`~repro.simulator.metrics.SimulationResult`
 figures of merit: end-to-end latency percentiles, QoS satisfaction rate,
 throughput, per-instance utilization, and queue-length statistics.
+
+Two process-wide caches back the fast engine: the per-workload
+:class:`~repro.simulator.service.ServiceTimeCache` (service-time matrices,
+shared by both engines) and the per-(workload, pool)
+:class:`~repro.simulator.result_cache.SimulationResultCache` (whole
+simulation results, fast engine only — the reference engine stays
+independent so equivalence tests keep meaning something).
 """
 
 from repro.simulator.pool import PoolConfiguration
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.engine import InferenceServingSimulator
 from repro.simulator.events import EventHeapSimulator
+from repro.simulator.result_cache import (
+    SimulationResultCache,
+    shared_simulation_cache,
+)
 from repro.simulator.service import (
     ServiceTimeCache,
     service_time_matrix,
@@ -33,6 +44,8 @@ __all__ = [
     "InferenceServingSimulator",
     "EventHeapSimulator",
     "ServiceTimeCache",
+    "SimulationResultCache",
     "service_time_matrix",
     "shared_service_cache",
+    "shared_simulation_cache",
 ]

@@ -25,6 +25,11 @@ Performance notes (per the profiling-first HPC guidance this repo follows):
 * service times come pre-noised from the per-workload
   :class:`~repro.simulator.service.ServiceTimeCache`, so repeated pool
   evaluations of one search never regenerate the lognormal draws;
+* whole simulations are memoized across evaluators by the process-wide
+  :class:`~repro.simulator.result_cache.SimulationResultCache` — the
+  engine is deterministic per ``(model, trace, pool)``, so re-simulating
+  a configuration another seed/fork already served returns the stored
+  :class:`SimulationResult` without touching the dispatch loop;
 * dispatch runs in O(n log m) on two heaps — a min-heap of free instance
   indices (type-order preference) and a min-heap of ``(free_at, index)``
   busy instances (earliest-free with lowest-index tie-break, exactly the
@@ -51,6 +56,10 @@ import numpy as np
 from repro.models.base import ModelProfile
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.pool import PoolConfiguration
+from repro.simulator.result_cache import (
+    SimulationResultCache,
+    shared_simulation_cache,
+)
 from repro.simulator.service import ServiceTimeCache, shared_service_cache
 from repro.workload.trace import QueryTrace
 
@@ -80,6 +89,15 @@ class InferenceServingSimulator:
         ``"auto"`` (default) picks the linear scan for small pools and the
         heap dispatcher for large ones; ``"linear"`` / ``"heap"`` force one
         path (the equivalence test suite exercises both on equal inputs).
+        The dispatch path is deliberately *not* part of the result-memo
+        key: both paths are bit-identical by contract.
+    result_cache:
+        Whole-result memo; defaults to the process-wide shared instance so
+        any simulator asked for a ``(model, trace, pool)`` it (or a sibling
+        evaluator) already served returns the stored
+        :class:`SimulationResult` without re-running dispatch.  Pass
+        ``SimulationResultCache(maxsize=0)`` to opt out (e.g. when
+        benchmarking the dispatch loop itself).
     """
 
     def __init__(
@@ -89,6 +107,7 @@ class InferenceServingSimulator:
         track_queue: bool = True,
         service_cache: ServiceTimeCache | None = None,
         dispatch: str = "auto",
+        result_cache: SimulationResultCache | None = None,
     ):
         if dispatch not in ("auto", "linear", "heap"):
             raise ValueError(
@@ -98,6 +117,9 @@ class InferenceServingSimulator:
         self._track_queue = bool(track_queue)
         self._service_cache = (
             service_cache if service_cache is not None else shared_service_cache()
+        )
+        self._result_cache = (
+            result_cache if result_cache is not None else shared_simulation_cache()
         )
         self._dispatch = dispatch
         # Memoized pool expansions: searches re-simulate the same lattice
@@ -115,6 +137,10 @@ class InferenceServingSimulator:
     def service_cache(self) -> ServiceTimeCache:
         return self._service_cache
 
+    @property
+    def result_cache(self) -> SimulationResultCache:
+        return self._result_cache
+
     def simulate(
         self, trace: QueryTrace, pool: PoolConfiguration
     ) -> SimulationResult:
@@ -123,8 +149,9 @@ class InferenceServingSimulator:
         Raises
         ------
         ValueError
-            If the pool is empty (no instance can serve) or a pool family has
-            no latency profile for this model.
+            If the pool is empty (no instance can serve).
+        KeyError
+            If a pool family has no latency profile for this model.
         """
         if pool.is_empty():
             raise ValueError(f"cannot serve on an empty pool {pool}")
@@ -133,6 +160,19 @@ class InferenceServingSimulator:
                 raise KeyError(
                     f"model {self._model.name!r} has no profile for {fam!r}"
                 )
+
+        # Whole-result memo: the simulation is deterministic per
+        # (model, trace, pool, track_queue), so a repeat — typically a
+        # sibling evaluator in a run_many sweep or a load-change fork —
+        # skips dispatch entirely.
+        memo = self._result_cache
+        memoize = memo.enabled
+        if memoize:
+            hit = memo.get(
+                self._model, trace, pool.families, pool.counts, self._track_queue
+            )
+            if hit is not None:
+                return hit
 
         n = len(trace)
         expand_key = (pool.families, pool.counts)
@@ -189,7 +229,7 @@ class InferenceServingSimulator:
         service_s = np.asarray(services, dtype=float)
         wait_s = start_s - arrivals
         latency_s = wait_s + service_s
-        return SimulationResult(
+        result = SimulationResult(
             latency_s=latency_s,
             wait_s=wait_s,
             service_s=service_s,
@@ -203,6 +243,16 @@ class InferenceServingSimulator:
                 else np.empty(0)
             ),
         )
+        if memoize:
+            result = memo.put(
+                self._model,
+                trace,
+                pool.families,
+                pool.counts,
+                self._track_queue,
+                result,
+            )
+        return result
 
     # -- dispatch loops -----------------------------------------------------
     def _run_linear(

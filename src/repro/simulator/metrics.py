@@ -24,6 +24,19 @@ class SimulationResult:
 
     All latency arrays are in seconds and aligned with the trace's query
     order.
+
+    .. rubric:: Zero-query windows
+
+    A result over an *empty* window (``len(result) == 0``) reports
+    vacuous figures of merit: :meth:`qos_satisfaction_rate` is 1.0 ("no
+    query missed the target"), :meth:`latency_percentile_ms` and the mean
+    latencies are 0.0 ("no latency was observed").  These are the right
+    conventions for *reporting* on an idle window, but they make it look
+    QoS-perfect **and** free — a search that compared it against real
+    windows could pick it as a winner.  Search-side consumers must not
+    feed empty windows into the optimization:
+    :class:`~repro.core.evaluator.ConfigurationEvaluator` rejects empty
+    traces at construction for exactly this reason.
     """
 
     latency_s: np.ndarray
@@ -51,7 +64,12 @@ class SimulationResult:
         return int(self.latency_s.size)
 
     def qos_satisfaction_rate(self, target_ms: float) -> float:
-        """Fraction of queries with end-to-end latency <= ``target_ms``."""
+        """Fraction of queries with end-to-end latency <= ``target_ms``.
+
+        Vacuously 1.0 for a zero-query window (see the class docstring:
+        reporting convention only — never let an empty window compete in
+        a search).
+        """
         if target_ms <= 0:
             raise ValueError(f"target_ms must be positive, got {target_ms!r}")
         if len(self) == 0:
@@ -65,7 +83,11 @@ class SimulationResult:
         return self.qos_satisfaction_rate(target_ms) >= required_rate
 
     def latency_percentile_ms(self, q: float) -> float:
-        """q-th percentile of end-to-end latency, in milliseconds."""
+        """q-th percentile of end-to-end latency, in milliseconds.
+
+        0.0 for a zero-query window — there is no latency distribution to
+        take a percentile of (reporting convention; see class docstring).
+        """
         if len(self) == 0:
             return 0.0
         return float(np.percentile(self.latency_s, q) * 1000.0)

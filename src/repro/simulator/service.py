@@ -23,13 +23,12 @@ configuration evaluation.  Cached matrices are returned read-only.
 
 from __future__ import annotations
 
-import threading
 import weakref
-from collections import OrderedDict
 
 import numpy as np
 
 from repro.models.base import ModelProfile
+from repro.simulator._identity_cache import IdentityKeyedCache
 from repro.workload.trace import QueryTrace
 
 
@@ -73,15 +72,14 @@ def _family_key(family: str) -> int:
     return key
 
 
-class ServiceTimeCache:
+class ServiceTimeCache(IdentityKeyedCache):
     """Memo of :func:`service_time_matrix` results keyed per workload.
 
     Keys are ``(id(model), id(trace), families)``: model and trace objects
-    are used by identity (they are large and not cheaply hashable), with a
-    ``weakref.finalize`` hook per object so entries are evicted as soon as
-    either participant is garbage collected — id reuse can never resurrect a
-    stale entry.  Entries are LRU-bounded by ``maxsize``; ``maxsize=0``
-    disables caching (every call recomputes).
+    are used by identity, with the weakref-eviction + LRU + thread-safety
+    machinery of :class:`IdentityKeyedCache` (shared with
+    :class:`~repro.simulator.result_cache.SimulationResultCache`);
+    ``maxsize=0`` disables caching (every call recomputes).
 
     The cache is thread-safe (``run_many(parallel=True)`` evaluates on a
     thread pool) and returns read-only arrays, so one matrix can back any
@@ -89,35 +87,21 @@ class ServiceTimeCache:
     """
 
     def __init__(self, maxsize: int = 128):
-        if maxsize < 0:
-            raise ValueError(f"maxsize must be >= 0, got {maxsize!r}")
-        self._maxsize = int(maxsize)
-        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        super().__init__(maxsize)
         # Lazily materialized list-of-lists views of cached matrices and
         # per-trace arrival lists: the scalar dispatch loop runs on plain
         # python lists, and the ndarray->list conversion is a measurable
         # per-evaluation cost.  Consumers must treat them as read-only.
+        # Row views are keyed like _entries (plus a ("means",) suffix for
+        # per-row means) and dropped with their entry via _on_drop_key;
+        # arrival lists are keyed per trace id with their own finalizer.
         self._rows: dict[tuple, list[list[float]]] = {}
         self._arrivals: dict[int, list[float]] = {}
-        self._keys_by_id: dict[int, set[tuple]] = {}
-        # Object ids with a registered finalizer: registration must survive
-        # LRU churn emptying a key set, or every re-insertion would stack
-        # another finalizer on long-lived objects.  Entries are discarded in
-        # _drop_id, which runs at object death — before the id can be reused.
-        self._finalized_ids: set[int] = set()
         self._arrival_finalized_ids: set[int] = set()
-        # Reentrant: a GC-triggered finalizer may fire while a cache method
-        # already holds the lock on the same thread.
-        self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
 
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    @property
-    def maxsize(self) -> int:
-        return self._maxsize
+    def _on_drop_key(self, key: tuple) -> None:
+        self._rows.pop(key, None)
+        self._rows.pop(key + ("means",), None)
 
     def matrix(
         self,
@@ -128,28 +112,15 @@ class ServiceTimeCache:
         """The (cached) service-time matrix for one workload; read-only."""
         fams = tuple(families)
         key = (id(model), id(trace), fams)
-        with self._lock:
-            hit = self._entries.get(key)
-            if hit is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                return hit
-            self.misses += 1
+        hit = self._lookup(key)
+        if hit is not None:
+            return hit
         out = service_time_matrix(model, trace, fams)
         out.flags.writeable = False
         if self._maxsize == 0:
             return out
         with self._lock:
-            if key not in self._entries:
-                self._entries[key] = out
-                self._track(model, key)
-                self._track(trace, key)
-                while len(self._entries) > self._maxsize:
-                    old_key, _ = self._entries.popitem(last=False)
-                    self._rows.pop(old_key, None)
-                    self._rows.pop(old_key + ("means",), None)
-                    self._untrack(old_key)
-            return self._entries[key]
+            return self._insert(key, out, model, trace)
 
     def rows(
         self,
@@ -225,59 +196,15 @@ class ServiceTimeCache:
 
     def clear(self) -> None:
         with self._lock:
-            self._entries.clear()
             self._rows.clear()
             self._arrivals.clear()
-            self._keys_by_id.clear()
-            # _finalized_ids is kept: the finalizers stay registered on the
-            # (still live) objects and must not be stacked again.
+            super().clear()
 
     # -- internals ----------------------------------------------------------
-    def _track(self, obj, key: tuple) -> None:
-        keys = self._keys_by_id.setdefault(id(obj), set())
-        if id(obj) not in self._finalized_ids:
-            # First sighting of this object: drop all its keys when it dies.
-            # The finalizer must hold the cache weakly — a bound method
-            # would pin the cache for the tracked object's lifetime, which
-            # for model-zoo singletons is the process lifetime.
-            self._finalized_ids.add(id(obj))
-            weakref.finalize(obj, _finalize_drop_id, weakref.ref(self), id(obj))
-        keys.add(key)
-
-    def _untrack(self, key: tuple) -> None:
-        for obj_id in (key[0], key[1]):
-            keys = self._keys_by_id.get(obj_id)
-            if keys is not None:
-                keys.discard(key)
-                if not keys:
-                    del self._keys_by_id[obj_id]
-
     def _drop_arrivals(self, obj_id: int) -> None:
         with self._lock:
             self._arrival_finalized_ids.discard(obj_id)
             self._arrivals.pop(obj_id, None)
-
-    def _drop_id(self, obj_id: int) -> None:
-        with self._lock:
-            self._finalized_ids.discard(obj_id)
-            for key in self._keys_by_id.pop(obj_id, ()):
-                self._entries.pop(key, None)
-                self._rows.pop(key, None)
-                self._rows.pop(key + ("means",), None)
-                # The partner object may still track this key.
-                for other in (key[0], key[1]):
-                    if other != obj_id:
-                        other_keys = self._keys_by_id.get(other)
-                        if other_keys is not None:
-                            other_keys.discard(key)
-                            if not other_keys:
-                                del self._keys_by_id[other]
-
-
-def _finalize_drop_id(cache_ref: "weakref.ref[ServiceTimeCache]", obj_id: int) -> None:
-    cache = cache_ref()
-    if cache is not None:
-        cache._drop_id(obj_id)
 
 
 def _finalize_drop_arrivals(

@@ -13,8 +13,21 @@ from hypothesis import strategies as st
 from repro.simulator.engine import InferenceServingSimulator
 from repro.simulator.events import EventHeapSimulator
 from repro.simulator.pool import PoolConfiguration
+from repro.simulator.result_cache import SimulationResultCache
 from repro.workload.trace import QueryTrace
 from tests.conftest import make_toy_model
+
+
+def fast_sim(model, **kwargs) -> InferenceServingSimulator:
+    """A fast-engine simulator with the whole-result memo disabled.
+
+    Equivalence tests run several same-(model, trace, pool) simulations
+    and compare them; under the default shared memo the later runs would
+    be cache hits of the first, making the comparisons vacuous.
+    """
+    return InferenceServingSimulator(
+        model, result_cache=SimulationResultCache(maxsize=0), **kwargs
+    )
 
 
 def random_trace(seed: int, n: int) -> QueryTrace:
@@ -39,7 +52,7 @@ def test_engines_agree_on_random_workloads(seed, n, g, t):
     model = make_toy_model()
     trace = random_trace(seed, n)
     pool = PoolConfiguration(("g4dn", "t3"), (g, t))
-    fast = InferenceServingSimulator(model).simulate(trace, pool)
+    fast = fast_sim(model).simulate(trace, pool)
     ref = EventHeapSimulator(model).simulate(trace, pool)
     np.testing.assert_allclose(fast.latency_s, ref.latency_s, rtol=1e-12, atol=1e-12)
     np.testing.assert_allclose(fast.wait_s, ref.wait_s, rtol=1e-12, atol=1e-12)
@@ -52,7 +65,7 @@ def test_engines_agree_with_noise(seed):
     model = make_toy_model(noise={"g4dn": 0.1, "t3": 0.25})
     trace = random_trace(seed, 200)
     pool = PoolConfiguration(("g4dn", "t3"), (2, 3))
-    fast = InferenceServingSimulator(model).simulate(trace, pool)
+    fast = fast_sim(model).simulate(trace, pool)
     ref = EventHeapSimulator(model).simulate(trace, pool)
     np.testing.assert_allclose(fast.latency_s, ref.latency_s, rtol=1e-12, atol=1e-12)
 
@@ -63,7 +76,7 @@ def test_engines_agree_on_queue_lengths(seed):
     model = make_toy_model()
     trace = random_trace(seed, 250)
     pool = PoolConfiguration(("g4dn", "t3"), (1, 1))  # overloaded -> queueing
-    fast = InferenceServingSimulator(model, track_queue=True).simulate(trace, pool)
+    fast = fast_sim(model, track_queue=True).simulate(trace, pool)
     ref = EventHeapSimulator(model).simulate(trace, pool)
     np.testing.assert_array_equal(fast.queue_len_at_arrival, ref.queue_len_at_arrival)
 
@@ -72,7 +85,7 @@ def test_three_type_pool_equivalence():
     model = make_toy_model()
     trace = random_trace(123, 400)
     pool = PoolConfiguration(("g4dn", "c5", "t3"), (1, 2, 2))
-    fast = InferenceServingSimulator(model).simulate(trace, pool)
+    fast = fast_sim(model).simulate(trace, pool)
     ref = EventHeapSimulator(model).simulate(trace, pool)
     np.testing.assert_allclose(fast.latency_s, ref.latency_s, rtol=1e-12, atol=1e-12)
     assert fast.queries_per_family() == ref.queries_per_family()
@@ -85,7 +98,7 @@ def assert_dispatch_modes_match_reference(model, trace, pool):
     """Both forced dispatch paths must equal the event-heap reference bit-for-bit."""
     ref = EventHeapSimulator(model).simulate(trace, pool)
     for mode in ("linear", "heap"):
-        sim = InferenceServingSimulator(model, track_queue=True, dispatch=mode)
+        sim = fast_sim(model, track_queue=True, dispatch=mode)
         res = sim.simulate(trace, pool)
         np.testing.assert_array_equal(res.latency_s, ref.latency_s, err_msg=mode)
         np.testing.assert_array_equal(res.wait_s, ref.wait_s, err_msg=mode)
@@ -157,10 +170,10 @@ def test_heap_dispatch_heavy_saturation(seed):
 
 def test_auto_dispatch_equals_forced_paths(toy_model, toy_trace):
     pool = PoolConfiguration(("g4dn", "t3"), (2, 3))
-    auto = InferenceServingSimulator(toy_model, dispatch="auto").simulate(
+    auto = fast_sim(toy_model, dispatch="auto").simulate(
         toy_trace, pool
     )
-    linear = InferenceServingSimulator(toy_model, dispatch="linear").simulate(
+    linear = fast_sim(toy_model, dispatch="linear").simulate(
         toy_trace, pool
     )
     np.testing.assert_array_equal(auto.latency_s, linear.latency_s)

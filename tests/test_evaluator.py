@@ -1,5 +1,6 @@
 """Unit tests for the configuration evaluator (caching + accounting)."""
 
+import numpy as np
 import pytest
 
 from repro.core.evaluator import ConfigurationEvaluator
@@ -99,6 +100,51 @@ class TestFork:
         assert forked.n_evaluations == 0
         assert forked.objective is toy_evaluator.objective
 
+    def test_fork_redefaults_window_from_new_trace(
+        self, toy_model, toy_trace, toy_space
+    ):
+        # Regression: a *defaulted* eval window (trace duration) used to be
+        # passed verbatim to the fork, so a load-change fork onto a
+        # different-duration trace billed exploration dollars against the
+        # stale parent window.
+        obj = RibbonObjective(toy_space, 0.95)
+        parent = ConfigurationEvaluator(toy_model, toy_trace, obj)
+        assert parent.eval_duration_hours == pytest.approx(
+            toy_trace.duration_s / 3600.0
+        )
+        longer = trace_for_model(toy_model, n_queries=1200, seed=9)
+        forked = parent.fork(longer)
+        assert longer.duration_s != pytest.approx(toy_trace.duration_s)
+        assert forked.eval_duration_hours == pytest.approx(
+            longer.duration_s / 3600.0
+        )
+        # The dollar accounting follows the new window.
+        rec = forked.evaluate(toy_space.pool((1, 0)))
+        assert forked.exploration_cost_dollars == pytest.approx(
+            rec.cost_per_hour * longer.duration_s / 3600.0
+        )
+
+    def test_fork_keeps_explicit_window(self, toy_model, toy_trace, toy_space):
+        obj = RibbonObjective(toy_space, 0.95)
+        parent = ConfigurationEvaluator(
+            toy_model, toy_trace, obj, eval_duration_hours=2.5
+        )
+        longer = trace_for_model(toy_model, n_queries=1200, seed=9)
+        forked = parent.fork(longer)
+        assert forked.eval_duration_hours == pytest.approx(2.5)
+        # ... and the pinned window survives a second-generation fork too.
+        assert forked.fork(toy_trace).eval_duration_hours == pytest.approx(2.5)
+
+    def test_fork_of_fork_follows_latest_trace(self, toy_model, toy_trace, toy_space):
+        obj = RibbonObjective(toy_space, 0.95)
+        parent = ConfigurationEvaluator(toy_model, toy_trace, obj)
+        mid = trace_for_model(toy_model, n_queries=800, seed=3)
+        final = trace_for_model(toy_model, n_queries=200, seed=4)
+        grandchild = parent.fork(mid).fork(final)
+        assert grandchild.eval_duration_hours == pytest.approx(
+            final.duration_s / 3600.0
+        )
+
     def test_qos_target_override(self, toy_model, toy_trace, toy_space):
         obj = RibbonObjective(toy_space, 0.95)
         ev = ConfigurationEvaluator(toy_model, toy_trace, obj, qos_target_ms=5.0)
@@ -106,6 +152,26 @@ class TestFork:
         ev2 = ConfigurationEvaluator(toy_model, toy_trace, obj, qos_target_ms=100.0)
         rec_loose = ev2.evaluate(toy_space.pool((4, 0)))
         assert rec_loose.qos_rate >= rec_tight.qos_rate
+
+
+class TestEmptyTraceGuard:
+    """A zero-query window must never enter a search (it looks QoS-perfect)."""
+
+    def _empty_trace(self):
+        from repro.workload.trace import QueryTrace
+
+        return QueryTrace(
+            np.empty(0, dtype=float), np.empty(0, dtype=np.int64), rate_qps=1.0
+        )
+
+    def test_empty_trace_rejected_at_construction(self, toy_model, toy_space):
+        obj = RibbonObjective(toy_space, 0.95)
+        with pytest.raises(ValueError, match="no queries"):
+            ConfigurationEvaluator(toy_model, self._empty_trace(), obj)
+
+    def test_fork_onto_empty_trace_rejected(self, toy_evaluator):
+        with pytest.raises(ValueError, match="no queries"):
+            toy_evaluator.fork(self._empty_trace())
 
 
 class TestRunningAccumulators:

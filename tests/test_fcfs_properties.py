@@ -117,10 +117,19 @@ class TestQoSMonotonicity:
     def test_prices_never_affect_serving(self, toy_model):
         """The simulator must be oblivious to prices — only the optimizer
         sees cost."""
+        from repro.simulator.result_cache import SimulationResultCache
+
         trace = make_toy_trace(toy_model, n=300)
         pool = PoolConfiguration(("g4dn", "t3"), (1, 2))
-        a = InferenceServingSimulator(toy_model).simulate(trace, pool)
-        b = InferenceServingSimulator(toy_model).simulate(trace, pool)
+        # Memo disabled: the second run must actually re-simulate for the
+        # repeatability comparison to mean anything.
+        a = InferenceServingSimulator(
+            toy_model, result_cache=SimulationResultCache(maxsize=0)
+        ).simulate(trace, pool)
+        b = InferenceServingSimulator(
+            toy_model, result_cache=SimulationResultCache(maxsize=0)
+        ).simulate(trace, pool)
+        assert a is not b
         np.testing.assert_array_equal(a.latency_s, b.latency_s)
 
 

@@ -102,3 +102,35 @@ class TestStructure:
     def test_summary_contains_metrics(self):
         s = make_result([10, 20]).summary(target_ms=15.0)
         assert "p99=" in s and "Rsat(15ms)=" in s
+
+
+class TestZeroQueryWindow:
+    """The documented vacuous conventions for an empty (idle) window.
+
+    These are reporting conventions only: an empty window reads as
+    QoS-perfect and latency-free, which is why the evaluator boundary
+    rejects empty traces (tests/test_evaluator.py::TestEmptyTraceGuard).
+    """
+
+    def test_qos_rate_is_vacuously_one(self):
+        res = make_result([])
+        assert len(res) == 0
+        assert res.qos_satisfaction_rate(20.0) == 1.0
+        assert res.meets_qos(20.0)
+
+    def test_percentiles_and_means_are_zero(self):
+        res = make_result([])
+        assert res.latency_percentile_ms(99.0) == 0.0
+        assert res.p99_ms == 0.0
+        assert res.mean_latency_ms == 0.0
+        assert res.mean_wait_ms == 0.0
+
+    def test_queue_and_throughput_degenerate(self):
+        res = make_result([])
+        assert res.max_queue_length == 0
+        assert res.mean_queue_length == 0.0
+        assert res.throughput_qps == 0.0
+
+    def test_target_validation_still_applies(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_result([]).qos_satisfaction_rate(0.0)

@@ -20,6 +20,7 @@ from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.objective import RibbonObjective
 from repro.core.optimizer import RibbonOptimizer
 from repro.core.search_space import SearchSpace
+from repro.simulator.result_cache import SimulationResultCache
 from repro.simulator.service import ServiceTimeCache
 from tests.conftest import make_toy_model, make_toy_trace
 
@@ -35,7 +36,11 @@ def toy_ctx():
 
 
 def run_search(model, trace, space, objective, seed, **kwargs):
-    evaluator = ConfigurationEvaluator(model, trace, objective)
+    # Result memo disabled: repeat-run comparisons in this suite must
+    # actually re-simulate, not replay memoized results.
+    evaluator = ConfigurationEvaluator(
+        model, trace, objective, result_cache=SimulationResultCache(maxsize=0)
+    )
     return RibbonOptimizer(max_samples=25, seed=seed, **kwargs).search(evaluator)
 
 
@@ -74,13 +79,19 @@ class TestGoldenSequences:
 class TestInvariances:
     def test_search_invariant_to_cache_sharing(self):
         model, trace, space, objective = toy_ctx()
+        # Both sides opt out of the result memo — it would replay the
+        # isolated run's simulations into the shared run, hiding any
+        # service-cache-induced divergence this test exists to catch.
         isolated = ConfigurationEvaluator(
             model,
             trace,
             objective,
             service_cache=ServiceTimeCache(maxsize=0),
+            result_cache=SimulationResultCache(maxsize=0),
         )
-        shared = ConfigurationEvaluator(model, trace, objective)
+        shared = ConfigurationEvaluator(
+            model, trace, objective, result_cache=SimulationResultCache(maxsize=0)
+        )
         r1 = RibbonOptimizer(max_samples=20, seed=3).search(isolated)
         r2 = RibbonOptimizer(max_samples=20, seed=3).search(shared)
         assert [r.pool.counts for r in r1.history] == [

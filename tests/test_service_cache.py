@@ -146,13 +146,23 @@ class TestWiring:
         assert cache.hits >= 4
 
     def test_cache_results_identical_to_cacheless(self, toy_model, toy_trace):
+        from repro.simulator.result_cache import SimulationResultCache
+
         pool = PoolConfiguration(("g4dn", "t3"), (2, 3))
-        cached = InferenceServingSimulator(toy_model)
+        # The whole-result memo is disabled on both sides: it would hand
+        # the cacheless simulator the cached simulator's result verbatim,
+        # turning this A-vs-B comparison into A-vs-A.
+        cached = InferenceServingSimulator(
+            toy_model, result_cache=SimulationResultCache(maxsize=0)
+        )
         uncached = InferenceServingSimulator(
-            toy_model, service_cache=ServiceTimeCache(maxsize=0)
+            toy_model,
+            service_cache=ServiceTimeCache(maxsize=0),
+            result_cache=SimulationResultCache(maxsize=0),
         )
         a = cached.simulate(toy_trace, pool)
         b = uncached.simulate(toy_trace, pool)
+        assert a is not b
         np.testing.assert_array_equal(a.latency_s, b.latency_s)
         np.testing.assert_array_equal(a.queue_len_at_arrival, b.queue_len_at_arrival)
 

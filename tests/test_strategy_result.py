@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.evaluator import EvaluationRecord
 from repro.core.result import SearchResult
-from repro.core.strategy import _Budget
+from repro.core.strategy import Budget
 from repro.simulator.pool import PoolConfiguration
 
 
@@ -91,9 +91,9 @@ class TestSearchResult:
 
 class TestBudget:
     def test_window_tracks_only_this_search(self, toy_evaluator, toy_space):
-        b1 = _Budget(toy_evaluator, max_samples=5)
+        b1 = Budget(toy_evaluator, max_samples=5)
         b1.evaluate(toy_space.pool((2, 2)))
-        b2 = _Budget(toy_evaluator, max_samples=5)
+        b2 = Budget(toy_evaluator, max_samples=5)
         # Same config: cache hit on the evaluator but still a sample for b2.
         b2.evaluate(toy_space.pool((2, 2)))
         assert b1.n_samples == 1
@@ -101,7 +101,7 @@ class TestBudget:
         assert toy_evaluator.n_evaluations == 1
 
     def test_revisits_within_search_are_free(self, toy_evaluator, toy_space):
-        b = _Budget(toy_evaluator, max_samples=5)
+        b = Budget(toy_evaluator, max_samples=5)
         pool = toy_space.pool((1, 1))
         b.evaluate(pool)
         b.evaluate(pool)
@@ -109,7 +109,7 @@ class TestBudget:
         assert b.seen(pool)
 
     def test_budget_exhaustion_returns_none(self, toy_evaluator, toy_space):
-        b = _Budget(toy_evaluator, max_samples=1)
+        b = Budget(toy_evaluator, max_samples=1)
         assert b.evaluate(toy_space.pool((1, 0))) is not None
         assert b.evaluate(toy_space.pool((0, 1))) is None
         assert b.exhausted
@@ -117,8 +117,8 @@ class TestBudget:
 
     def test_best_satisfying_windowed(self, toy_evaluator, toy_space):
         # Evaluate a satisfier through another budget first.
-        pre = _Budget(toy_evaluator, max_samples=5)
+        pre = Budget(toy_evaluator, max_samples=5)
         pre.evaluate(toy_space.pool((4, 6)))
-        b = _Budget(toy_evaluator, max_samples=5)
+        b = Budget(toy_evaluator, max_samples=5)
         b.evaluate(toy_space.pool((0, 1)))
         assert b.best_satisfying() is None  # the satisfier is not in b's window
