@@ -5,6 +5,7 @@ with the fewest configuration samples; the competing strategies need
 several times more (an order of magnitude for CANDLE).
 """
 
+from _artifact import BenchArtifact
 from conftest import ALL_MODELS, once, register_figure
 
 from repro.analysis.experiments import mean_samples_to_saving, search_comparison
@@ -27,6 +28,7 @@ def test_fig10_convergence(benchmark, experiments):
 
     chunks = []
     ribbon_wins = 0
+    per_model: dict[str, dict] = {}
     for name, (exp, comparison) in data.items():
         max_saving = exp.max_saving_percent()
         levels = [max_saving * f for f in (0.25, 0.5, 0.75, 1.0)]
@@ -50,10 +52,29 @@ def test_fig10_convergence(benchmark, experiments):
             )
             for method, results in comparison.items()
         }
+        per_model[name] = {
+            "max_saving_percent": max_saving,
+            "mean_samples_to_max_saving": at_max,
+        }
         if at_max["RIBBON"] <= min(v for k, v in at_max.items() if k != "RIBBON"):
             ribbon_wins += 1
 
     register_figure("fig10_convergence", "\n\n".join(chunks))
+
+    # Scenario-level persistence: append this regeneration to the figure's
+    # perf/drift artifact so re-anchors can diff the headline numbers per
+    # figure, not just eyeball the rendered tables.
+    artifact = BenchArtifact("BENCH_fig10_convergence.json")
+    artifact.ensure_section(
+        "workload",
+        {
+            "figure": "fig10_convergence",
+            "models": list(ALL_MODELS),
+            "seeds": list(SEEDS),
+            "sample_budget": BUDGET,
+        },
+    )
+    artifact.record(ribbon_wins=ribbon_wins, models=per_model)
 
     # Paper shape: Ribbon needs the fewest samples to the max saving on
     # (at least almost) every model.

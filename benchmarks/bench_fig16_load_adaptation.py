@@ -7,6 +7,7 @@ the re-convergence takes well under the original exploration time (<60% in
 the paper).
 """
 
+from _artifact import BenchArtifact
 from conftest import BENCH_SETTING, once, register_figure
 
 from repro.analysis.experiments import find_homogeneous_optimum
@@ -64,6 +65,7 @@ def test_fig16_load_adaptation(benchmark):
         "deployed violation %": [],
     }
     warm_total, cold_total = 0, 0
+    per_model: dict[str, dict] = {}
     for name in MODELS:
         o, cold = outcomes[name]
         warm_n = o.result_after.samples_to_best() or o.result_after.n_samples
@@ -78,6 +80,13 @@ def test_fig16_load_adaptation(benchmark):
         rows["deployed violation %"].append(
             f"{100 * (1 - o.deployed_on_new_load.qos_rate):.1f}%"
         )
+        per_model[name] = {
+            "detected": o.detected,
+            "cost_ratio_after_vs_before": o.cost_ratio_after_vs_before,
+            "warm_samples": warm_n,
+            "cold_samples": cold_n,
+            "deployed_violation_rate": 1 - o.deployed_on_new_load.qos_rate,
+        }
     register_figure(
         "fig16_load_adaptation",
         series_table(
@@ -90,6 +99,24 @@ def test_fig16_load_adaptation(benchmark):
                 "cold = BO restart from scratch)"
             ),
         ),
+    )
+
+    # Scenario-level persistence: append the headline numbers to the
+    # figure's drift artifact (same format as the perf benches).
+    artifact = BenchArtifact("BENCH_fig16_load_adaptation.json")
+    artifact.ensure_section(
+        "workload",
+        {
+            "figure": "fig16_load_adaptation",
+            "models": list(MODELS),
+            "n_queries": BENCH_SETTING.n_queries,
+            "seed": BENCH_SETTING.seed,
+            "load_factor": LOAD_FACTOR,
+            "max_samples": 45,
+        },
+    )
+    artifact.record(
+        warm_total=warm_total, cold_total=cold_total, models=per_model
     )
 
     for name in MODELS:

@@ -33,13 +33,11 @@ history.  The bench
 
 from __future__ import annotations
 
-import json
 import os
-import pathlib
-import platform
 import time
 
 import pytest
+from _artifact import BenchArtifact
 
 from repro.api import (
     EvaluationBudget,
@@ -51,8 +49,6 @@ from repro.api import (
 from repro.simulator.result_cache import SimulationResultCache
 from repro.simulator.service import ServiceTimeCache
 
-BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_memo_sweep.json"
-
 SPEEDUP_TARGET = 3.0
 #: Best-of-N wall time (the minimum is the right statistic under
 #: one-sided scheduler noise), with extra passes while the memo-on
@@ -63,13 +59,9 @@ MAX_MEASURE_PASSES = 8
 SMOKE = os.environ.get("BENCH_MEMO_SMOKE") == "1"
 
 
-def _load_artifact() -> dict:
-    return json.loads(BENCH_JSON.read_text())
-
-
 @pytest.fixture(scope="module")
 def sweep_ctx():
-    spec = dict(_load_artifact()["workload"])
+    spec = dict(BenchArtifact("BENCH_memo_sweep.json").workload)
     if SMOKE:
         spec["n_queries"] = 800
         spec["sweep_seeds"] = spec["sweep_seeds"][:4]
@@ -169,9 +161,9 @@ def test_perf_memo_sweep(benchmark, sweep_ctx):
     if SMOKE:
         return  # shrunken workload: goldens/timings are not comparable
 
-    artifact = _load_artifact()
+    artifact = BenchArtifact("BENCH_memo_sweep.json")
     for seed in seeds:
-        golden = artifact["golden"][str(seed)]
+        golden = artifact.golden[str(seed)]
         got = off_seq[seed]
         assert got["best"] == golden["best"], f"seed {seed}"
         assert got["sequence"] == golden["sequence"], f"seed {seed} sample sequence"
@@ -181,25 +173,15 @@ def test_perf_memo_sweep(benchmark, sweep_ctx):
 
     off_wall, on_wall = min(off_times), min(on_times)
     speedup = off_wall / on_wall
-    record = {
-        "recorded_at": time.strftime("%Y-%m-%d"),
-        "host": platform.node(),
-        "memo_off_wall_s": off_wall,
-        "memo_on_wall_s": on_wall,
-        "speedup_memo_on": speedup,
-        "memo_hit_rate": hit_rate,
-    }
-    artifact["current"] = record
-    artifact.setdefault("history", []).append(record)
-    BENCH_JSON.write_text(json.dumps(artifact, indent=1) + "\n")
-
-    baseline = artifact["baseline_memoless"]
-    enforce = os.environ.get("BENCH_ENFORCE_SPEEDUP")
-    if enforce is None:
-        enforce = "1" if platform.node() == baseline["host"] else "0"
-    if enforce != "0":
-        assert speedup >= SPEEDUP_TARGET, (
-            f"memoized {len(seeds)}-seed sweep ran {speedup:.2f}x faster than "
-            f"the memo-disabled path ({on_wall:.3f}s vs {off_wall:.3f}s); "
-            f"target is {SPEEDUP_TARGET:.0f}x"
-        )
+    artifact.record(
+        memo_off_wall_s=off_wall,
+        memo_on_wall_s=on_wall,
+        speedup_memo_on=speedup,
+        memo_hit_rate=hit_rate,
+    )
+    artifact.enforce_speedup(
+        speedup,
+        SPEEDUP_TARGET,
+        baseline_host=artifact.baseline("baseline_memoless")["host"],
+        label=f"memoized {len(seeds)}-seed sweep vs the memo-disabled path",
+    )

@@ -28,14 +28,11 @@ regressions are attributable.
 
 from __future__ import annotations
 
-import json
-import os
-import pathlib
-import platform
 import time
 
 import numpy as np
 import pytest
+from _artifact import BenchArtifact
 
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.objective import RibbonObjective
@@ -50,8 +47,6 @@ from repro.simulator.result_cache import SimulationResultCache
 from repro.simulator.service import ServiceTimeCache
 from repro.workload.trace import trace_for_model
 
-BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_search_core.json"
-
 SPEEDUP_TARGET = 5.0
 # Best-of-N wall time.  The minimum is the right statistic under one-sided
 # scheduler noise; extra passes are added (up to the cap) while the minimum
@@ -61,13 +56,9 @@ MEASURE_PASSES = 5
 MAX_MEASURE_PASSES = 12
 
 
-def _load_artifact() -> dict:
-    return json.loads(BENCH_JSON.read_text())
-
-
 @pytest.fixture(scope="module")
 def search_ctx():
-    spec = _load_artifact()["workload"]
+    spec = BenchArtifact("BENCH_search_core.json").workload
     model = get_model(spec["model"])
     trace = trace_for_model(
         model,
@@ -98,7 +89,8 @@ def _one_pass(spec, model, trace, objective):
 
 def test_perf_search_core(benchmark, search_ctx):
     spec, model, trace, space, objective = search_ctx
-    artifact = _load_artifact()
+    artifact = BenchArtifact("BENCH_search_core.json")
+    baseline = artifact.baseline("baseline_pre_pr")
 
     # Warm shared caches once (the baseline was recorded warm, too).
     _one_pass(spec, model, trace, objective)
@@ -111,14 +103,14 @@ def test_perf_search_core(benchmark, search_ctx):
         return results
 
     results = benchmark.pedantic(measured, rounds=MEASURE_PASSES, iterations=1)
-    target_wall = artifact["baseline_pre_pr"]["search_wall_s"] / SPEEDUP_TARGET
+    target_wall = baseline["search_wall_s"] / SPEEDUP_TARGET
     while min(times) > target_wall * 0.95 and len(times) < MAX_MEASURE_PASSES:
         dt, _ = _one_pass(spec, model, trace, objective)
         times.append(dt)
 
     # Exactness: identical best pool and sample sequence per seed.
     for seed, res in results.items():
-        golden = artifact["golden"][str(seed)]
+        golden = artifact.golden[str(seed)]
         assert res.best is not None
         assert list(res.best.pool.counts) == golden["best"], f"seed {seed}"
         sequence = [list(r.pool.counts) for r in res.history]
@@ -128,29 +120,14 @@ def test_perf_search_core(benchmark, search_ctx):
         )
 
     wall = min(times)
-    baseline = artifact["baseline_pre_pr"]
     speedup = baseline["search_wall_s"] / wall
-    record = {
-        "recorded_at": time.strftime("%Y-%m-%d"),
-        "host": platform.node(),
-        "search_wall_s": wall,
-        "speedup_vs_pre_pr": speedup,
-    }
-    artifact["current"] = record
-    # The trajectory is append-only so later PRs can regress against every
-    # prior recording, not just the latest.
-    artifact.setdefault("history", []).append(record)
-    BENCH_JSON.write_text(json.dumps(artifact, indent=1) + "\n")
-
-    enforce = os.environ.get("BENCH_ENFORCE_SPEEDUP")
-    if enforce is None:
-        enforce = "1" if platform.node() == baseline["host"] else "0"
-    if enforce != "0":
-        assert speedup >= SPEEDUP_TARGET, (
-            f"search core ran {speedup:.2f}x faster than the recorded pre-PR "
-            f"baseline ({wall:.3f}s vs {baseline['search_wall_s']:.3f}s); "
-            f"target is {SPEEDUP_TARGET:.0f}x"
-        )
+    artifact.record(search_wall_s=wall, speedup_vs_pre_pr=speedup)
+    artifact.enforce_speedup(
+        speedup,
+        SPEEDUP_TARGET,
+        baseline_host=baseline["host"],
+        label="search core vs recorded pre-PR-2 baseline",
+    )
 
 
 # -- component micro-benchmarks ------------------------------------------------

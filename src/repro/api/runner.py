@@ -31,6 +31,7 @@ from repro.core.result import SearchResult
 from repro.core.search_space import SearchSpace, estimate_instance_bounds
 from repro.core.strategy import SearchStrategy
 from repro.models.base import ModelProfile
+from repro.simulator.engine import DispatchCounters, InferenceServingSimulator
 from repro.simulator.pool import PoolConfiguration
 from repro.simulator.result_cache import (
     SimulationResultCache,
@@ -101,7 +102,13 @@ class ScenarioRunner:
         :meth:`run_many` sweep and across load-change forks.  Pass
         ``SimulationResultCache(maxsize=0)`` to opt out of memoization
         (every evaluation re-simulates).  :meth:`cache_stats` reports
-        hit/miss/eviction counters for both caches.
+        hit/miss/eviction counters for both caches plus this runner's
+        dispatch-path engagement counts.
+    dispatch:
+        Dispatch policy handed to every evaluator this runner builds
+        (``"auto"`` default, or a forced ``"linear"``/``"heap"``/
+        ``"vector"`` substrate — all bit-identical).  :meth:`fork`
+        propagates it.
     """
 
     def __init__(
@@ -112,6 +119,8 @@ class ScenarioRunner:
         objective: RibbonObjective | None = None,
         service_cache: ServiceTimeCache | None = None,
         simulation_cache: SimulationResultCache | None = None,
+        dispatch: str = "auto",
+        dispatch_counters: DispatchCounters | None = None,
     ):
         if not isinstance(scenario, Scenario):
             raise ScenarioError(
@@ -127,6 +136,20 @@ class ScenarioRunner:
             simulation_cache
             if simulation_cache is not None
             else shared_simulation_cache()
+        )
+        if dispatch not in InferenceServingSimulator.DISPATCH_POLICIES:
+            raise ScenarioError(
+                "dispatch must be one of "
+                + ", ".join(
+                    repr(p) for p in InferenceServingSimulator.DISPATCH_POLICIES
+                )
+                + f", got {dispatch!r}"
+            )
+        self._dispatch = dispatch
+        # One counter sink for every evaluator (and fork) this runner
+        # builds: sweeps report their whole dispatch mix from one place.
+        self._dispatch_counters = (
+            dispatch_counters if dispatch_counters is not None else DispatchCounters()
         )
         # LRU per trace seed: materializations hold full traces and every
         # simulated record, so a wide follow-seed sweep must not pin them
@@ -214,6 +237,8 @@ class ScenarioRunner:
             eval_duration_hours=scn.budget.eval_duration_hours,
             service_cache=self._service_cache,
             result_cache=self._simulation_cache,
+            dispatch=self._dispatch,
+            dispatch_counters=self._dispatch_counters,
         )
         return MaterializedScenario(
             scenario=scn,
@@ -241,19 +266,35 @@ class ScenarioRunner:
         """The service-time matrix cache this runner's evaluators share."""
         return self._service_cache
 
+    @property
+    def dispatch(self) -> str:
+        """The dispatch policy this runner's evaluators simulate with."""
+        return self._dispatch
+
+    def dispatch_counts(self) -> dict[str, int]:
+        """Per-substrate dispatch run counts across this runner's
+        evaluators and their forks (``linear``/``heap``/``vector`` plus
+        ``vector_fallback``; result-memo hits never dispatch, so warmed
+        sweeps can legitimately report zeros)."""
+        return self._dispatch_counters.snapshot()
+
     def cache_stats(self) -> dict[str, dict[str, int]]:
-        """Hit/miss/eviction counters of both process-level caches.
+        """Hit/miss/eviction counters of both process-level caches, plus
+        this runner's dispatch-path engagement counts.
 
         Keys: ``"simulation"`` (the :class:`SimulationResultCache` —
-        whole-result reuse across seeds/forks) and ``"service"`` (the
-        :class:`ServiceTimeCache` — per-workload service-time matrices).
-        Counters are cumulative over each cache's lifetime; with the
-        default process-wide caches that spans every runner in the
-        process, not just this one.
+        whole-result reuse across seeds/forks), ``"service"`` (the
+        :class:`ServiceTimeCache` — per-workload service-time matrices)
+        and ``"dispatch"`` (per-substrate run counts, see
+        :meth:`dispatch_counts`).  Cache counters are cumulative over each
+        cache's lifetime; with the default process-wide caches that spans
+        every runner in the process, not just this one.  Dispatch counts
+        are scoped to this runner.
         """
         return {
             "simulation": self._simulation_cache.stats(),
             "service": self._service_cache.stats(),
+            "dispatch": self.dispatch_counts(),
         }
 
     # -- search ---------------------------------------------------------------------
@@ -407,6 +448,8 @@ class ScenarioRunner:
             objective=mat.objective,
             service_cache=self._service_cache,
             simulation_cache=self._simulation_cache,
+            dispatch=self._dispatch,
+            dispatch_counters=self._dispatch_counters,
         )
 
     def homogeneous_optimum(
@@ -434,8 +477,16 @@ class ScenarioRunner:
         # The single-family scenario shares this runner's workload, so when
         # this runner already materialized (make_experiment does), its trace
         # is reused; otherwise the scan generates its own without forcing
-        # the parent's (possibly expensive) bound estimation.
-        single_runner = ScenarioRunner(single)
+        # the parent's (possibly expensive) bound estimation.  Caches,
+        # dispatch policy and counters carry over: the scan must honor the
+        # parent's memo opt-out and report into the parent's stats.
+        single_runner = ScenarioRunner(
+            single,
+            service_cache=self._service_cache,
+            simulation_cache=self._simulation_cache,
+            dispatch=self._dispatch,
+            dispatch_counters=self._dispatch_counters,
+        )
         with self._lock:
             base = self._materialized.get(self.scenario.trace_seed(seed))
         if base is not None:

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.core.objective import ObjectiveFunction
 from repro.core.search_space import SearchSpace
 from repro.models.base import ModelProfile
-from repro.simulator.engine import InferenceServingSimulator
+from repro.simulator.engine import DispatchCounters, InferenceServingSimulator
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.pool import PoolConfiguration
 from repro.simulator.result_cache import SimulationResultCache
@@ -78,6 +78,15 @@ class ConfigurationEvaluator:
         re-evaluations of one configuration free *across* evaluators —
         every seed of a sweep, every load-change fork.  Pass
         ``SimulationResultCache(maxsize=0)`` to opt out.
+    dispatch:
+        Dispatch policy handed to the simulator — ``"auto"`` (default)
+        or a forced ``"linear"``/``"heap"``/``"vector"`` substrate; all
+        produce bit-identical results.  Propagated by :meth:`fork`.
+    dispatch_counters:
+        Per-path engagement counter sink shared with the simulator (and
+        every fork), so a whole sweep's dispatch mix can be reported from
+        one object.  Defaults to a fresh
+        :class:`~repro.simulator.engine.DispatchCounters`.
 
     Raises
     ------
@@ -98,6 +107,8 @@ class ConfigurationEvaluator:
         eval_duration_hours: float | None = None,
         service_cache: ServiceTimeCache | None = None,
         result_cache: SimulationResultCache | None = None,
+        dispatch: str = "auto",
+        dispatch_counters: DispatchCounters | None = None,
     ):
         if len(trace) == 0:
             raise ValueError(
@@ -128,6 +139,8 @@ class ConfigurationEvaluator:
             track_queue=True,
             service_cache=service_cache,
             result_cache=result_cache,
+            dispatch=dispatch,
+            dispatch_counters=dispatch_counters,
         )
         self._cache: dict[tuple[int, ...], EvaluationRecord] = {}
         self._history: list[EvaluationRecord] = []
@@ -156,6 +169,12 @@ class ConfigurationEvaluator:
     @property
     def qos_target_ms(self) -> float:
         return self._qos_target_ms
+
+    @property
+    def simulator(self) -> InferenceServingSimulator:
+        """The serving simulator behind this evaluator (introspection:
+        dispatch policy, engagement counters, caches)."""
+        return self._sim
 
     @property
     def eval_duration_hours(self) -> float:
@@ -265,4 +284,6 @@ class ConfigurationEvaluator:
             ),
             service_cache=self._sim.service_cache,
             result_cache=self._sim.result_cache,
+            dispatch=self._sim.dispatch,
+            dispatch_counters=self._sim.dispatch_counters,
         )

@@ -7,7 +7,10 @@ paper).  Two independently written engines are provided:
 * :class:`~repro.simulator.engine.InferenceServingSimulator` — the fast
   arrival-order engine used everywhere (a query either starts immediately on
   the first free instance in type order, or waits for the earliest-free
-  instance).
+  instance).  It dispatches on one of three bit-identical substrates —
+  the linear scan, the heap dispatcher, or the exact NumPy busy-period
+  kernels of :mod:`repro.simulator.vector_kernel` — picked per simulation
+  by pool shape and offered load (``dispatch="auto"``).
 * :class:`~repro.simulator.events.EventHeapSimulator` — an event-heap
   reference implementation used to cross-validate the fast engine in the
   test suite.
@@ -26,7 +29,11 @@ independent so equivalence tests keep meaning something).
 
 from repro.simulator.pool import PoolConfiguration
 from repro.simulator.metrics import SimulationResult
-from repro.simulator.engine import InferenceServingSimulator
+from repro.simulator.engine import (
+    DispatchCounters,
+    InferenceServingSimulator,
+    global_dispatch_counters,
+)
 from repro.simulator.events import EventHeapSimulator
 from repro.simulator.result_cache import (
     SimulationResultCache,
@@ -37,14 +44,19 @@ from repro.simulator.service import (
     service_time_matrix,
     shared_service_cache,
 )
+from repro.simulator.vector_kernel import homogeneous_pool, lindley_single
 
 __all__ = [
     "PoolConfiguration",
     "SimulationResult",
     "InferenceServingSimulator",
     "EventHeapSimulator",
+    "DispatchCounters",
     "ServiceTimeCache",
     "SimulationResultCache",
+    "global_dispatch_counters",
+    "homogeneous_pool",
+    "lindley_single",
     "service_time_matrix",
     "shared_service_cache",
     "shared_simulation_cache",

@@ -30,16 +30,35 @@ Performance notes (per the profiling-first HPC guidance this repo follows):
   engine is deterministic per ``(model, trace, pool)``, so re-simulating
   a configuration another seed/fork already served returns the stored
   :class:`SimulationResult` without touching the dispatch loop;
-* dispatch runs in O(n log m) on two heaps — a min-heap of free instance
-  indices (type-order preference) and a min-heap of ``(free_at, index)``
-  busy instances (earliest-free with lowest-index tie-break, exactly the
-  linear scan's pick) — instead of the O(n·m) per-query scan, so large
-  saturated pools (20-50 instances) stop dominating search wall-clock.
-  The linear scan short-circuits on the first free instance, which makes
-  it O(1) per query on *underloaded* pools of any size, so ``auto`` picks
-  the heap only when the pool is big enough and the offered load (arrival
-  rate x mean service time, from the cached matrix) keeps most of it busy;
-  both paths produce bit-identical results (property-tested);
+* dispatch runs on one of three substrates, all bit-identical
+  (property-tested against each other and the event-heap reference):
+
+  - ``linear`` — the O(n·m) scalar scan; O(1) per query on underloaded
+    pools of any size because it short-circuits on the first free
+    instance;
+  - ``heap`` — O(n log m) on two heaps (a min-heap of free instance
+    indices for the type-order preference, and a min-heap of
+    ``(free_at, index)`` busy instances for the earliest-free pick), which
+    wins on big saturated pools where the scan stops short-circuiting;
+  - ``vector`` — the exact NumPy busy-period kernels of
+    :mod:`repro.simulator.vector_kernel`, fed directly from the
+    :class:`ServiceTimeCache` ndarray rows with no list round-trips.
+    Single-instance pools run the re-anchored Lindley cumsum (the big
+    win: the scalar loops floor at ~0.5 us/query where the kernel runs at
+    ~0.05); homogeneous pools run the pop-multiset fixpoint, whose
+    advantage grows with pool size because the m-server merge has an
+    irreducible *generation depth* (one sort round per pool turnover).
+    Heterogeneous pools have no shared busy-period structure, so
+    ``dispatch="vector"`` falls back to the heap path for them (counted
+    in the dispatch stats);
+
+  ``auto`` picks per simulation from the pool shape and the offered load
+  (arrival rate x mean service time, from the cached matrix): vector for
+  single-instance pools and for large saturated homogeneous pools, the
+  heap when offered load keeps most of a big pool busy, the scan
+  otherwise.  Per-path engagement counts are kept on the simulator and
+  process-wide (:func:`global_dispatch_counters`), so benches can assert
+  the substrate they mean to measure actually engaged;
 * the waiting-queue tracker exploits that FCFS start times are monotone
   non-decreasing: the queue length seen by arrival q is exactly
   ``q - #{j < q : start_j <= t_q}``, maintained by one moving pointer over
@@ -49,6 +68,7 @@ Performance notes (per the profiling-first HPC guidance this repo follows):
 
 from __future__ import annotations
 
+import threading
 from heapq import heapify, heappop, heappush, heapreplace
 
 import numpy as np
@@ -61,6 +81,7 @@ from repro.simulator.result_cache import (
     shared_simulation_cache,
 )
 from repro.simulator.service import ServiceTimeCache, shared_service_cache
+from repro.simulator.vector_kernel import homogeneous_pool, lindley_single
 from repro.workload.trace import QueryTrace
 
 #: Heap-dispatch threshold (measured crossover; both paths are exact, so
@@ -69,6 +90,64 @@ from repro.workload.trace import QueryTrace
 #: the offered load occupies at least this fraction of the pool; on
 #: underloaded pools of any size the scan is O(1) per query and faster.
 _HEAP_MIN_OCCUPANCY = 0.8
+
+#: Below this many queries the single-instance vector kernel's fixed setup
+#: cost exceeds the scalar loop (measured crossover ~50 queries).
+_VECTOR_MIN_QUERIES = 64
+
+#: Minimum homogeneous-pool size for ``auto`` to pick the vector kernel.
+#: The pop-multiset fixpoint pays one sort round per pool turnover
+#: (generation depth), so its per-query cost falls with m; measured
+#: crossover against the heap sits near 24-32 instances.
+_VECTOR_MIN_POOL = 32
+
+#: The homogeneous vector kernel engages only past this offered load (in
+#: busy-instance units over the pool size): its saturated-block solver
+#: degrades to scalar steps when arrivals keep finding free instances.
+_VECTOR_MIN_OCCUPANCY = 1.0
+
+
+class DispatchCounters:
+    """Thread-safe run counters for the dispatch substrates.
+
+    ``linear``/``heap``/``vector`` count simulations actually *dispatched*
+    by each path (result-memo hits never dispatch, so they do not count);
+    ``vector_fallback`` counts simulations that asked for the vector path
+    but fell back — a heterogeneous pool under ``dispatch="vector"``, or
+    the (ulp-rare) boundary self-check failure of the single-instance
+    kernel — and is incremented *in addition to* the path that served them.
+    """
+
+    __slots__ = ("_lock", "_counts")
+
+    PATHS = ("linear", "heap", "vector", "vector_fallback")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(self.PATHS, 0)
+
+    def record(self, path: str) -> None:
+        with self._lock:
+            self._counts[path] += 1
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            for key in self._counts:
+                self._counts[key] = 0
+
+
+#: Process-wide engagement counters, aggregated across every simulator
+#: (in addition to each simulator's own counters).
+_GLOBAL_DISPATCH = DispatchCounters()
+
+
+def global_dispatch_counters() -> DispatchCounters:
+    """The process-wide :class:`DispatchCounters` instance."""
+    return _GLOBAL_DISPATCH
 
 
 class InferenceServingSimulator:
@@ -86,11 +165,19 @@ class InferenceServingSimulator:
         instance so every simulator serving the same workload reuses one
         matrix.  Pass ``ServiceTimeCache(maxsize=0)`` to disable caching.
     dispatch:
-        ``"auto"`` (default) picks the linear scan for small pools and the
-        heap dispatcher for large ones; ``"linear"`` / ``"heap"`` force one
-        path (the equivalence test suite exercises both on equal inputs).
-        The dispatch path is deliberately *not* part of the result-memo
-        key: both paths are bit-identical by contract.
+        ``"auto"`` (default) picks a substrate per simulation from the
+        pool shape and offered load; ``"linear"`` / ``"heap"`` /
+        ``"vector"`` force one path (the equivalence test suite exercises
+        all of them on equal inputs).  A forced ``"vector"`` on a
+        heterogeneous pool falls back to the heap path — the kernels need
+        the single shared service row of a one-family pool.  The dispatch
+        path is deliberately *not* part of the result-memo key: all paths
+        are bit-identical by contract.
+    dispatch_counters:
+        Engagement-counter sink for this simulator (also mirrored into the
+        process-wide :func:`global_dispatch_counters`).  Evaluators and
+        runners share one counters object across their forks so sweeps can
+        report which substrates actually ran.
     result_cache:
         Whole-result memo; defaults to the process-wide shared instance so
         any simulator asked for a ``(model, trace, pool)`` it (or a sibling
@@ -100,6 +187,9 @@ class InferenceServingSimulator:
         benchmarking the dispatch loop itself).
     """
 
+    #: The full dispatch-policy set (``auto`` plus the three substrates).
+    DISPATCH_POLICIES = ("auto", "linear", "heap", "vector")
+
     def __init__(
         self,
         model: ModelProfile,
@@ -108,10 +198,13 @@ class InferenceServingSimulator:
         service_cache: ServiceTimeCache | None = None,
         dispatch: str = "auto",
         result_cache: SimulationResultCache | None = None,
+        dispatch_counters: DispatchCounters | None = None,
     ):
-        if dispatch not in ("auto", "linear", "heap"):
+        if dispatch not in self.DISPATCH_POLICIES:
             raise ValueError(
-                f"dispatch must be 'auto', 'linear' or 'heap', got {dispatch!r}"
+                "dispatch must be one of "
+                + ", ".join(repr(p) for p in self.DISPATCH_POLICIES)
+                + f", got {dispatch!r}"
             )
         self._model = model
         self._track_queue = bool(track_queue)
@@ -122,6 +215,9 @@ class InferenceServingSimulator:
             result_cache if result_cache is not None else shared_simulation_cache()
         )
         self._dispatch = dispatch
+        self._counters = (
+            dispatch_counters if dispatch_counters is not None else DispatchCounters()
+        )
         # Memoized pool expansions: searches re-simulate the same lattice
         # vectors, and np.repeat + tolist is measurable per evaluation.
         self._expand_cache: dict[
@@ -140,6 +236,28 @@ class InferenceServingSimulator:
     @property
     def result_cache(self) -> SimulationResultCache:
         return self._result_cache
+
+    @property
+    def dispatch(self) -> str:
+        """The configured dispatch policy (``auto`` or a forced substrate)."""
+        return self._dispatch
+
+    @property
+    def dispatch_counters(self) -> DispatchCounters:
+        """The engagement-counter sink this simulator records into."""
+        return self._counters
+
+    @property
+    def dispatch_counts(self) -> dict[str, int]:
+        """Per-path dispatch run counts recorded through this simulator's
+        counters (shared with sibling simulators when a counters object
+        was passed in)."""
+        return self._counters.snapshot()
+
+    def _record_dispatch(self, path: str) -> None:
+        self._counters.record(path)
+        if self._counters is not _GLOBAL_DISPATCH:
+            _GLOBAL_DISPATCH.record(path)
 
     def simulate(
         self, trace: QueryTrace, pool: PoolConfiguration
@@ -188,25 +306,46 @@ class InferenceServingSimulator:
         type_list, instance_family = expanded
         families = pool.families
         n_instances = len(type_list)
-
-        # Per-(type, query) service times, noise included, cached per
-        # workload as python-list rows (the scalar loop's native format).
         cache = self._service_cache
-        service_rows = cache.rows(self._model, trace, families)
+        # One family holding every instance: the shape the vector kernels
+        # (and their shared service row) require.
+        homogeneous = sum(1 for c in pool.counts if c) == 1
+        service_rows: list[list[float]] | None = None
 
-        if self._dispatch == "heap":
-            use_heap = True
-        elif self._dispatch == "linear" or n_instances < 2 or n == 0:
-            use_heap = False
+        # -- dispatch-path policy ------------------------------------------
+        if self._dispatch == "linear":
+            path = "linear"
+        elif self._dispatch == "heap":
+            path = "heap"
+        elif self._dispatch == "vector":
+            if n_instances == 1 or homogeneous:
+                path = "vector"
+            else:
+                # Heterogeneous pools have per-instance service rows; the
+                # busy-period kernels cannot engage (documented fallback).
+                self._record_dispatch("vector_fallback")
+                path = "heap"
+        elif n_instances == 1 or n == 0:
+            path = (
+                "vector"
+                if n_instances == 1 and n >= _VECTOR_MIN_QUERIES
+                else "linear"
+            )
         else:
             # Offered load in busy-instance units (Erlangs): arrival rate x
             # mean service time per query (pool-mix average).  With caching
-            # disabled, derive the means from the rows already in hand
-            # rather than regenerating the matrix (policy-only estimate).
+            # disabled, derive the means from list rows materialized once
+            # and reused by the scalar run below — which is also why the
+            # homogeneous vector branch requires an enabled cache: picking
+            # it here would throw those rows away and regenerate the
+            # matrix a second time.  (The single-instance branch above has
+            # no such guard: it needs no means, so its matrix() call does
+            # exactly one generation either way.)
             duration = trace.duration_s
             if cache.maxsize > 0:
                 means = cache.row_means(self._model, trace, families)
             else:
+                service_rows = cache.rows(self._model, trace, families)
                 means = [float(sum(r)) / len(r) for r in service_rows]
             offered = (
                 n
@@ -215,34 +354,60 @@ class InferenceServingSimulator:
                 if duration > 0.0
                 else np.inf
             )
-            use_heap = offered >= _HEAP_MIN_OCCUPANCY * n_instances
-        run = self._run_heap if use_heap else self._run_linear
-        starts, services, chosen, busy, queue_len, makespan = run(
-            cache.arrival_list(trace),
-            service_rows,
-            type_list,
-            n_instances,
-        )
+            if (
+                homogeneous
+                and cache.maxsize > 0
+                and n_instances >= _VECTOR_MIN_POOL
+                and n >= _VECTOR_MIN_QUERIES
+                and offered >= _VECTOR_MIN_OCCUPANCY * n_instances
+            ):
+                path = "vector"
+            elif offered >= _HEAP_MIN_OCCUPANCY * n_instances:
+                path = "heap"
+            else:
+                path = "linear"
 
-        arrivals = trace.arrival_s
-        start_s = np.asarray(starts, dtype=float)
-        service_s = np.asarray(services, dtype=float)
-        wait_s = start_s - arrivals
-        latency_s = wait_s + service_s
-        result = SimulationResult(
-            latency_s=latency_s,
-            wait_s=wait_s,
-            service_s=service_s,
-            instance_index=np.asarray(chosen, dtype=np.int64),
-            instance_family=instance_family,
-            busy_s_per_instance=np.asarray(busy, dtype=float),
-            makespan_s=makespan if n else 0.0,
-            queue_len_at_arrival=(
-                np.asarray(queue_len, dtype=np.int64)
-                if self._track_queue
-                else np.empty(0)
-            ),
-        )
+        result = None
+        if path == "vector":
+            result = self._run_vector(
+                trace, families, type_list, instance_family, n_instances
+            )
+            if result is None:
+                # Ulp-rare single-instance boundary self-check failure:
+                # rerun on the scalar substrate the policy would otherwise
+                # pick for this shape.
+                self._record_dispatch("vector_fallback")
+                path = "linear" if n_instances == 1 else "heap"
+        if result is None:
+            if service_rows is None:
+                service_rows = cache.rows(self._model, trace, families)
+            run = self._run_heap if path == "heap" else self._run_linear
+            starts, services, chosen, busy, queue_len, makespan = run(
+                cache.arrival_list(trace),
+                service_rows,
+                type_list,
+                n_instances,
+            )
+            arrivals = trace.arrival_s
+            start_s = np.asarray(starts, dtype=float)
+            service_s = np.asarray(services, dtype=float)
+            wait_s = start_s - arrivals
+            latency_s = wait_s + service_s
+            result = SimulationResult(
+                latency_s=latency_s,
+                wait_s=wait_s,
+                service_s=service_s,
+                instance_index=np.asarray(chosen, dtype=np.int64),
+                instance_family=instance_family,
+                busy_s_per_instance=np.asarray(busy, dtype=float),
+                makespan_s=makespan if n else 0.0,
+                queue_len_at_arrival=(
+                    np.asarray(queue_len, dtype=np.int64)
+                    if self._track_queue
+                    else np.empty(0)
+                ),
+            )
+        self._record_dispatch(path)
         if memoize:
             result = memo.put(
                 self._model,
@@ -255,6 +420,53 @@ class InferenceServingSimulator:
         return result
 
     # -- dispatch loops -----------------------------------------------------
+    def _run_vector(
+        self,
+        trace: QueryTrace,
+        families: tuple[str, ...],
+        type_list: list[int],
+        instance_family: tuple[str, ...],
+        n_instances: int,
+    ) -> SimulationResult | None:
+        """Serve via the NumPy busy-period kernels, or None on fallback.
+
+        The kernels are fed straight from the cached service-time matrix
+        row and the trace's arrival ndarray — no list round-trips — and
+        their output arrays back the :class:`SimulationResult` directly.
+        """
+        cache = self._service_cache
+        matrix = cache.matrix(self._model, trace, families)
+        row = matrix[type_list[0]]  # single family: one shared row
+        arrivals = trace.arrival_s
+        n = arrivals.shape[0]
+        track = self._track_queue
+        if n_instances == 1:
+            out = lindley_single(arrivals, row, track)
+            if out is None:
+                return None
+            starts, finishes, busy_total, queue_len = out
+            chosen = np.zeros(n, dtype=np.int64)
+            busy = np.array([busy_total], dtype=float)
+            makespan = float(finishes[-1]) if n else 0.0
+        else:
+            starts, chosen, busy, queue_len, makespan = homogeneous_pool(
+                arrivals, row, n_instances, track
+            )
+        wait_s = starts - arrivals
+        latency_s = wait_s + row
+        return SimulationResult(
+            latency_s=latency_s,
+            wait_s=wait_s,
+            # Copied, not the matrix-row view: a memoized result must not
+            # pin the whole multi-family matrix (nor undercount its bytes).
+            service_s=row.copy(),
+            instance_index=chosen,
+            instance_family=instance_family,
+            busy_s_per_instance=busy,
+            makespan_s=makespan,
+            queue_len_at_arrival=queue_len if track else np.empty(0),
+        )
+
     def _run_linear(
         self,
         arrival_list: list[float],

@@ -9,6 +9,15 @@ The serving metrics Ribbon observes per configuration evaluation:
 * **Tail latency** percentiles (p99 by default).
 * **Throughput**, per-instance **utilization**, and **queue length**
   statistics (queue growth is the load-change detection signal of Sec. 4).
+
+All figures of merit are array-native — one vectorized pass over the
+engine's output arrays — and memoized per result object: a
+:class:`SimulationResult` is immutable and (through the simulation-result
+memo) shared by every evaluator that re-serves the same configuration, so
+the sorted-latency pass behind the percentiles and the QoS counts are paid
+once per *distinct simulation*, not once per evaluator fork.  The memo is
+an idempotent cache of deterministic values, so concurrent readers (sweep
+threads) can at worst recompute the same number.
 """
 
 from __future__ import annotations
@@ -58,6 +67,23 @@ class SimulationResult:
                 raise ValueError(f"{name} shape {arr.shape} != {lat.shape}")
         if np.any(lat < 0):
             raise ValueError("latencies must be non-negative")
+        # Memo for derived statistics (frozen dataclass => set via object).
+        object.__setattr__(self, "_derived", {})
+
+    def _memo(self, key, compute):
+        derived = self._derived
+        hit = derived.get(key)
+        if hit is None:
+            hit = derived[key] = compute()
+        return hit
+
+    def _latency_s_ascending(self) -> np.ndarray:
+        """Latencies in seconds, sorted ascending — the one cached sort
+        behind every derived figure (percentiles interpolate in seconds,
+        exactly as the uncached path did; QoS counts scale it to ms on
+        the fly, which multiplication-by-a-positive keeps order- and
+        value-identical to sorting the products)."""
+        return self._memo("latency_s_sorted", lambda: np.sort(self.latency_s))
 
     # -- core figures of merit ----------------------------------------------
     def __len__(self) -> int:
@@ -70,11 +96,34 @@ class SimulationResult:
         reporting convention only — never let an empty window compete in
         a search).
         """
+        n = len(self)
+        if n == 0:
+            if target_ms <= 0:
+                raise ValueError(
+                    f"target_ms must be positive, got {target_ms!r}"
+                )
+            return 1.0
+        return (n - self.qos_violation_count(target_ms)) / n
+
+    def qos_violation_count(self, target_ms: float) -> int:
+        """How many queries exceeded the latency target.
+
+        One ``searchsorted`` over the cached ascending latencies scaled
+        to ms — multiplication by 1000 is monotone, so the count equals
+        the scalar ``latency * 1000 <= target`` tally exactly.
+        """
         if target_ms <= 0:
             raise ValueError(f"target_ms must be positive, got {target_ms!r}")
-        if len(self) == 0:
-            return 1.0
-        return float(np.mean(self.latency_s * 1000.0 <= target_ms))
+        target = float(target_ms)
+        return self._memo(
+            ("violations", target),
+            lambda: len(self)
+            - int(
+                np.searchsorted(
+                    self._latency_s_ascending() * 1000.0, target, side="right"
+                )
+            ),
+        )
 
     def meets_qos(self, target_ms: float, required_rate: float = 0.99) -> bool:
         """True when at least ``required_rate`` of queries meet the target."""
@@ -85,12 +134,20 @@ class SimulationResult:
     def latency_percentile_ms(self, q: float) -> float:
         """q-th percentile of end-to-end latency, in milliseconds.
 
-        0.0 for a zero-query window — there is no latency distribution to
-        take a percentile of (reporting convention; see class docstring).
+        Computed on the cached ascending latencies — ``np.percentile``
+        selects order statistics and interpolates, a pure function of the
+        value multiset, so sorting first changes nothing but the cost of
+        repeat calls.  0.0 for a zero-query window — there is no latency
+        distribution to take a percentile of (reporting convention; see
+        class docstring).
         """
         if len(self) == 0:
             return 0.0
-        return float(np.percentile(self.latency_s, q) * 1000.0)
+        q = float(q)
+        return self._memo(
+            ("percentile", q),
+            lambda: float(np.percentile(self._latency_s_ascending(), q) * 1000.0),
+        )
 
     @property
     def p99_ms(self) -> float:
@@ -102,14 +159,18 @@ class SimulationResult:
         """Mean end-to-end latency in milliseconds."""
         if len(self) == 0:
             return 0.0
-        return float(np.mean(self.latency_s) * 1000.0)
+        return self._memo(
+            "mean_latency_ms", lambda: float(np.mean(self.latency_s) * 1000.0)
+        )
 
     @property
     def mean_wait_ms(self) -> float:
         """Mean queueing delay in milliseconds."""
         if len(self) == 0:
             return 0.0
-        return float(np.mean(self.wait_s) * 1000.0)
+        return self._memo(
+            "mean_wait_ms", lambda: float(np.mean(self.wait_s) * 1000.0)
+        )
 
     @property
     def throughput_qps(self) -> float:
@@ -126,11 +187,18 @@ class SimulationResult:
         return self.busy_s_per_instance / self.makespan_s
 
     def queries_per_family(self) -> dict[str, int]:
-        """How many queries each instance family served."""
+        """How many queries each instance family served.
+
+        One ``bincount`` over the instance indices, aggregated over the
+        (short) expanded-instance list.
+        """
         counts: dict[str, int] = {fam: 0 for fam in self.instance_family}
-        fam_of_instance = self._family_of_instance()
-        for inst, n in zip(*np.unique(self.instance_index, return_counts=True)):
-            counts[fam_of_instance[int(inst)]] += int(n)
+        if len(self):
+            per_instance = np.bincount(
+                self.instance_index, minlength=len(self.instance_family)
+            )
+            for fam, n in zip(self.instance_family, per_instance.tolist()):
+                counts[fam] += n
         return counts
 
     def family_share(self) -> dict[str, float]:
@@ -138,24 +206,23 @@ class SimulationResult:
         total = max(len(self), 1)
         return {f: n / total for f, n in self.queries_per_family().items()}
 
-    def _family_of_instance(self) -> list[str]:
-        # busy_s_per_instance is aligned with the expanded instance list;
-        # instance_family holds the family of each expanded slot.
-        return list(self.instance_family)
-
     @property
     def max_queue_length(self) -> int:
         """Largest number of waiting queries observed at any arrival."""
         if self.queue_len_at_arrival.size == 0:
             return 0
-        return int(self.queue_len_at_arrival.max())
+        return self._memo(
+            "max_queue", lambda: int(self.queue_len_at_arrival.max())
+        )
 
     @property
     def mean_queue_length(self) -> float:
         """Average waiting-queue length sampled at arrivals."""
         if self.queue_len_at_arrival.size == 0:
             return 0.0
-        return float(self.queue_len_at_arrival.mean())
+        return self._memo(
+            "mean_queue", lambda: float(self.queue_len_at_arrival.mean())
+        )
 
     def summary(self, target_ms: float | None = None) -> str:
         """One-line human-readable summary (reporting aid)."""

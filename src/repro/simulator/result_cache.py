@@ -57,6 +57,11 @@ def _result_nbytes(result: SimulationResult) -> int:
         + result.instance_index.nbytes
         + result.busy_s_per_instance.nbytes
         + result.queue_len_at_arrival.nbytes
+        # The derived-metrics memo lazily attaches one more per-query
+        # array (the sorted latencies) once any QoS/percentile figure is
+        # read — which the evaluator does for every result — so charge it
+        # up front to keep max_bytes an honest bound on resident memory.
+        + result.latency_s.nbytes
     )
 
 

@@ -1,0 +1,410 @@
+"""Exact NumPy busy-period kernels: the ``dispatch="vector"`` substrate.
+
+The scalar dispatch loops in :mod:`repro.simulator.engine` floor at about
+half a microsecond per query in CPython — after the PR-2 heap dispatcher
+and the PR-3 result memo, that loop *is* the remaining simulator cost of
+every search.  For the two pool shapes the optimizer evaluates most — a
+single instance, and a homogeneous pool of one family — the FCFS process
+decomposes into busy periods, and within a busy period the arithmetic is a
+plain left-to-right accumulation that NumPy can run in C.
+
+Both kernels are **bit-identical** to the scalar loops, not approximately
+equal.  Floating-point addition is non-associative, so the kernels never
+re-associate the scalar loop's operations; they only batch them:
+
+* :func:`lindley_single` — single instance.  FCFS degenerates to the
+  Lindley recurrence ``finish_i = max(a_i, finish_{i-1}) + S_i``.  Busy-
+  period boundaries are *detected* with the prefix-max formulation
+  (``finish_i = C_i + max_{j<=i} (a_j - C_{j-1})`` over the global service
+  cumsum ``C``, whose rounding differs from the loop's) and then every
+  period is *re-computed* with a left-to-right ``np.cumsum`` re-anchored at
+  the period's first arrival — ``np.add.accumulate`` performs exactly the
+  scalar loop's add sequence.  Because the detection step is approximate
+  where the re-anchored values are exact, the kernel closes the loop with a
+  vectorized self-check: every claimed boundary (and non-boundary) is
+  re-tested against the exact finish times, and on any disagreement —
+  possible only when a comparison lands within one ulp — the kernel
+  reports failure and the engine falls back to the scalar loop.  Validation
+  passing *proves* bit-identity by induction over queries.
+
+* :func:`homogeneous_pool` — ``m`` identical instances (one family, so all
+  instances share one service row).  Inside a saturated stretch — every
+  query waits — the dispatcher is a pure priority queue: each query pops
+  the minimum instance clock as its start and pushes ``start + service``
+  back.  Pops are monotone and every pushed value is at least its pop, so
+  the first ``K`` pops are exactly the ``K`` smallest values of the
+  multiset ``clocks ∪ (pops + services)`` — a fixpoint in the pop vector.
+  The kernel solves it per block of ``K`` queries by monotone iteration
+  from the proven upper start ``sorted(clocks)`` padded with ``+inf``
+  (each round: one vectorized add, one sort, one slice — the map is
+  order-preserving, so the iterates decrease to the fixpoint and converge
+  in about one round per ``m`` queries).  Start values are *copies* of
+  clock/finish floats and every finish is the scalar loop's single
+  ``start + service`` add, so accepted blocks are bit-identical by
+  construction.  Instance identities are recovered from one stable argsort
+  of the final candidate multiset: a popped clock names its instance, a
+  popped finish names the slot that pushed it, and vectorized gather
+  passes resolve the chains.  Everything rests on strict comparisons: any
+  tie among the relevant candidates (the only regime where pop order
+  depends on instance indices), any query that finds a free instance, and
+  any block whose fixpoint fails a screen falls back to a one-query scalar
+  step that mirrors the engine's policy verbatim (first free instance in
+  index order, else the lowest-index earliest-free).
+
+Queue-length tracking uses the same monotonicity the engine's two-pointer
+tracker exploits: under FCFS both arrivals and start times are sorted, so
+the queue seen by arrival ``q`` is ``q - min(q, #{starts <= a_q})``, one
+vectorized ``searchsorted``.  Per-instance busy seconds come from
+``np.bincount`` (an in-order C accumulation, matching the scalar loop's
+``busy[i] += s`` order) and the single-instance busy total from ``C[-1]``
+(the same left-to-right sum the scalar loop accumulates).
+
+Heterogeneous pools have per-instance service rows and no shared busy-period
+structure; the engine falls back to the heap path for them (see the
+dispatch-policy notes in :mod:`repro.simulator.engine`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lindley_single", "homogeneous_pool"]
+
+#: Busy periods up to this long are accumulated in vectorized offset rounds
+#: (round ``r`` advances every short period's ``r``-th query at once); longer
+#: periods get their own ``np.cumsum``.  Bounds the Python-level loop at
+#: ``_SHORT_PERIOD_MAX - 1`` rounds plus at most ``n / _SHORT_PERIOD_MAX``
+#: per-period cumsum calls, so traces full of short periods (moderate load)
+#: stay vectorized too.
+_SHORT_PERIOD_MAX = 8
+
+
+def _queue_lengths(starts: np.ndarray, arrivals: np.ndarray) -> np.ndarray:
+    """Waiting-queue length seen by each arrival (FCFS two-pointer, batched).
+
+    ``#{j < q : start_j <= a_q}`` equals ``min(q, #{starts <= a_q})``
+    because starts are sorted non-decreasing; the engine's moving pointer
+    computes exactly this, capped at ``q``.
+    """
+    n = starts.size
+    order = np.arange(n, dtype=np.int64)
+    started = np.minimum(np.searchsorted(starts, arrivals, side="right"), order)
+    return order - started
+
+
+def lindley_single(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    track_queue: bool,
+):
+    """Single-instance FCFS, bit-identical to the scalar Lindley loop.
+
+    Parameters
+    ----------
+    arrivals:
+        Sorted arrival times, shape ``(n,)`` (``QueryTrace`` guarantees
+        sortedness).
+    services:
+        Per-query service times on the pool's only instance, shape ``(n,)``
+        — typically a read-only row view of the cached service-time matrix.
+    track_queue:
+        Also compute queue lengths at arrival.
+
+    Returns
+    -------
+    ``(starts, finishes, busy_total, queue_len)`` arrays, or ``None`` when
+    the boundary self-check failed (a one-ulp comparison tie); the caller
+    must then run the scalar loop.
+    """
+    n = arrivals.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=float)
+        return empty, empty, 0.0, np.empty(0, dtype=np.int64)
+    if not arrivals[0] >= 0.0:
+        # The scalar loop's idle clock starts at 0.0, so a negative first
+        # arrival would start at 0.0 instead of a_0; traces never do this,
+        # but exactness beats assuming.
+        return None
+
+    # -- busy-period boundary detection (prefix-max, approximate) ----------
+    cum = np.cumsum(services)  # left-to-right partial sums
+    slack = arrivals.copy()
+    slack[1:] -= cum[:-1]  # T_k = a_k - C_{k-1}
+    peak = np.maximum.accumulate(slack)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    # finish_{k-1} <= a_k  <=>  max_{j<k} T_j <= T_k   (exact arithmetic)
+    boundary[1:] = peak[:-1] <= slack[1:]
+
+    # -- exact finish times: re-anchored left-to-right cumsum --------------
+    finish = np.array(services, dtype=float, copy=True)
+    starts_idx = np.flatnonzero(boundary)
+    finish[starts_idx] = arrivals[starts_idx] + services[starts_idx]
+    if starts_idx.size < n:
+        ends = np.empty_like(starts_idx)
+        ends[:-1] = starts_idx[1:]
+        ends[-1] = n
+        lens = ends - starts_idx
+        for b, e in zip(
+            starts_idx[lens > _SHORT_PERIOD_MAX].tolist(),
+            ends[lens > _SHORT_PERIOD_MAX].tolist(),
+        ):
+            np.cumsum(finish[b:e], out=finish[b:e])
+        short = (lens > 1) & (lens <= _SHORT_PERIOD_MAX)
+        if short.any():
+            base = starts_idx[short]
+            length = lens[short]
+            for off in range(1, int(length.max())):
+                at = base[length > off] + off
+                # Same single adds as the scalar loop; distinct periods are
+                # independent, so the scatter order within a round is moot.
+                finish[at] = finish[at - 1] + services[at]
+
+    # -- self-check: claimed boundaries vs exact finishes ------------------
+    # If every comparison agrees, induction over queries proves each start
+    # and finish equals the scalar loop's value bit for bit.
+    if not np.array_equal(boundary[1:], finish[:-1] <= arrivals[1:]):
+        return None
+
+    starts = np.array(arrivals, dtype=float, copy=True)
+    waited = np.flatnonzero(~boundary)
+    starts[waited] = finish[waited - 1]
+    queue_len = (
+        _queue_lengths(starts, arrivals)
+        if track_queue
+        else np.empty(0, dtype=np.int64)
+    )
+    # C[-1] is the same left-to-right sum the scalar loop accumulates.
+    return starts, finish, float(cum[-1]), queue_len
+
+
+#: Queries per identity/screen super-block, as a multiple of the pool size.
+#: Fixed per-block costs (stable argsort, tie screens, chain resolution)
+#: amortize over the block, while pop values are solved in cheap sub-blocks.
+_BLOCK_FACTOR = 16
+#: Queries per pop-value fixpoint sub-block, as a multiple of the pool
+#: size.  The fixpoint's round count is the block's *generation depth* —
+#: how many times an instance turns over inside it, about one per ``m``
+#: queries — so small sub-blocks converge in 2-4 sorts and the exact
+#: remaining-clock multiset seeds the next sub-block.
+_SUB_FACTOR = 2
+
+
+def homogeneous_pool(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    n_instances: int,
+    track_queue: bool,
+):
+    """``m`` identical instances, bit-identical to the heap dispatcher.
+
+    Saturated stretches are solved per block by the pop-multiset fixpoint
+    (see module docstring); any slot that fails a strict screen — a tie, a
+    query finding a free instance, a non-converged block — is handled by a
+    one-query scalar step with the engine's exact policy.
+
+    Returns ``(starts, chosen, busy, queue_len, makespan)``.
+    """
+    n = arrivals.shape[0]
+    m = int(n_instances)
+    starts = np.empty(n, dtype=float)
+    chosen = np.empty(n, dtype=np.int64)
+    free_at = np.zeros(m, dtype=float)
+    block = max(_BLOCK_FACTOR * m, 64)
+    q = 0
+    while q < n:
+        if free_at.min() <= arrivals[q]:
+            # Some instance is free at this arrival.  The common shape is
+            # an all-free burst (trace warm-up, or the pool draining after
+            # an idle gap), which fills instances in index order and is
+            # vectorized; anything partial takes a one-query scalar step
+            # with the engine's policy.
+            if free_at.max() <= arrivals[q]:
+                q += _fresh_fill(arrivals, services, free_at, starts, chosen, q)
+                continue
+            t = arrivals[q]
+            s = services[q]
+            free_mask = free_at <= t
+            i = int(np.argmax(free_mask))  # first free in index order
+            free_at[i] = t + s
+            starts[q] = t
+            chosen[q] = i
+            q += 1
+            continue
+        accepted = _saturated_block(
+            arrivals, services, free_at, starts, chosen, q, min(block, n - q)
+        )
+        if accepted:
+            q += accepted
+            continue
+        # Tie or non-convergence: earliest-free instance, lowest index.
+        s = services[q]
+        i = int(np.argmin(free_at))
+        start = float(free_at[i])
+        free_at[i] = start + s
+        starts[q] = start
+        chosen[q] = i
+        q += 1
+    busy = (
+        np.bincount(chosen, weights=services, minlength=m)
+        if n
+        else np.zeros(m, dtype=float)
+    )
+    queue_len = (
+        _queue_lengths(starts, arrivals)
+        if track_queue
+        else np.empty(0, dtype=np.int64)
+    )
+    makespan = float(free_at.max()) if n else 0.0
+    return starts, chosen, busy, queue_len, makespan
+
+
+def _fresh_fill(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    free_at: np.ndarray,
+    starts: np.ndarray,
+    chosen: np.ndarray,
+    q: int,
+) -> int:
+    """Vectorized all-free burst: instances are taken in index order.
+
+    Precondition: every instance is free at ``arrivals[q]`` (so also at
+    every later arrival in the burst).  Query ``q + j`` then lands on
+    instance ``j`` exactly while instances ``0..j-1`` all remain busy at
+    its arrival — the running minimum of the burst's finish times stays
+    strictly above it.  The first violation (an earlier instance freed
+    up, giving a lower-index choice) ends the burst; ties end it too,
+    conservatively, and fall to the scalar step.  Always accepts at least
+    query ``q`` on instance 0.
+    """
+    n = arrivals.shape[0]
+    m = free_at.shape[0]
+    k = min(m, n - q)
+    a_burst = arrivals[q : q + k]
+    finishes = a_burst + services[q : q + k]  # start = arrival; one add
+    ok = np.empty(k, dtype=bool)
+    ok[0] = True
+    if k > 1:
+        ok[1:] = np.minimum.accumulate(finishes)[:-1] > a_burst[1:]
+    run = int(np.argmin(ok)) if not ok.all() else k
+    starts[q : q + run] = a_burst[:run]
+    chosen[q : q + run] = np.arange(run)
+    free_at[:run] = finishes[:run]
+    return run
+
+
+def _saturated_block(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    free_at: np.ndarray,
+    starts: np.ndarray,
+    chosen: np.ndarray,
+    q: int,
+    k: int,
+) -> int:
+    """Solve one saturated block of ``k`` queries starting at ``q``.
+
+    Writes the accepted prefix into ``starts``/``chosen``, updates
+    ``free_at`` in place, and returns how many queries were accepted
+    (0 = caller must take a scalar step).
+    """
+    m = free_at.shape[0]
+    order = np.argsort(free_at, kind="stable")  # (clock, index) ascending
+    clocks = free_at[order]
+    s_blk = services[q : q + k]
+    a_blk = arrivals[q : q + k]
+
+    # Pop values, sub-block by sub-block: pops of a sub-block are its
+    # fixpoint of pops = first w of sorted(avail U (pops + services)),
+    # iterated from the proven upper start (the available clock multiset
+    # padded with +inf) — the map is order-preserving, so the iterates
+    # decrease onto the fixpoint, growing an exact prefix by at least one
+    # slot per round; small sub-blocks keep the generation depth, and so
+    # the round count, at 2-4.  Each solved sub-block hands the exact
+    # remaining-clock multiset (values only; identities are resolved once
+    # per block) to the next.
+    sub = _SUB_FACTOR * m
+    pops = np.empty(k, dtype=float)
+    finishes = np.empty(k, dtype=float)
+    buf = np.empty(m + sub, dtype=float)  # reused candidate scratch
+    avail = clocks
+    p = 0
+    while p < k:
+        w = min(sub, k - p)
+        s_sub = s_blk[p : p + w]
+        cand = buf[: m + w]
+        cand[:m] = avail
+        if w <= m:
+            cur = avail[:w].copy()
+        else:
+            cur = np.concatenate([avail, np.full(w - m, np.inf)])
+        converged = False
+        for _ in range(w + 4):
+            # The scalar loop's single start+s add, written into the
+            # candidate scratch next to the available clocks.
+            np.add(cur, s_sub, out=cand[m:])
+            merged = np.sort(cand)
+            if np.array_equal(merged[:w], cur):
+                converged = True
+                break
+            cur = merged[:w]
+        if not converged:
+            return 0
+        pops[p : p + w] = cur
+        finishes[p : p + w] = cand[m:]
+        avail = merged[w:]
+        p += w
+
+    # Certify the assembled block against the *global* candidate multiset
+    # (initial clocks U all finishes): its first k sorted values must be
+    # the pops — re-validating the sub-block decomposition — and feed the
+    # acceptance screens.
+    merged = np.sort(np.concatenate([clocks, finishes]))
+    if not np.array_equal(merged[:k], pops):
+        return 0
+
+    # Accepted prefix: every slot must strictly wait, and the pop values
+    # feeding it must be tie-free (a tie is the only regime where the pop
+    # *identity* — hence chosen/busy — depends on instance indices).
+    ok = a_blk < pops
+    ok &= merged[1 : k + 1] != merged[:k]
+    accept = int(np.argmin(ok)) if not ok.all() else k
+    if accept == 0:
+        return 0
+    if accept < k:
+        # Re-derive the candidate multiset without the dropped finishes and
+        # re-screen: the prefix argument needs the truncated sort to agree
+        # with the fixpoint prefix, tie-free, which ulp-level coincidences
+        # could break.
+        finishes = finishes[:accept]
+        merged = np.sort(np.concatenate([clocks, finishes]))
+        upto = accept + m
+        if np.any(merged[1:upto] == merged[: upto - 1]) or not np.array_equal(
+            merged[:accept], pops[:accept]
+        ):
+            return 0
+
+    # Identity resolution: one stable argsort of the final candidates.
+    # Sorted position p holds candidate perm[p]; candidates < m are the
+    # sorted clocks (instance order[c]), candidates >= m are finishes
+    # (the instance of the slot that pushed them).  References always
+    # point to strictly lower positions, so pointer-doubling gather passes
+    # resolve the chains in O(log depth).
+    cand = np.concatenate([clocks, finishes])
+    perm = np.argsort(cand, kind="stable")
+    src = perm[: accept + m]
+    serv = np.where(src < m, order[np.minimum(src, m - 1)], -1)
+    hop = np.where(src < m, np.arange(accept + m), src - m)
+    while True:
+        pending = serv < 0
+        if not pending.any():
+            break
+        serv = np.where(pending, serv[hop], serv)
+        hop = hop[hop]
+
+    starts[q : q + accept] = pops[:accept]
+    chosen[q : q + accept] = serv[:accept]
+    # The m untaken candidates are the instances' clocks after the block.
+    free_at[serv[accept:]] = cand[src[accept:]]
+    return accept

@@ -95,9 +95,12 @@ def test_three_type_pool_equivalence():
 
 
 def assert_dispatch_modes_match_reference(model, trace, pool):
-    """Both forced dispatch paths must equal the event-heap reference bit-for-bit."""
+    """Every forced dispatch path must equal the event-heap reference
+    bit-for-bit (``vector`` serves single-instance/homogeneous pools with
+    the NumPy kernels and falls back to the heap on heterogeneous ones —
+    either way the output contract is identical)."""
     ref = EventHeapSimulator(model).simulate(trace, pool)
-    for mode in ("linear", "heap"):
+    for mode in ("linear", "heap", "vector"):
         sim = fast_sim(model, track_queue=True, dispatch=mode)
         res = sim.simulate(trace, pool)
         np.testing.assert_array_equal(res.latency_s, ref.latency_s, err_msg=mode)
@@ -182,5 +185,5 @@ def test_auto_dispatch_equals_forced_paths(toy_model, toy_trace):
 def test_invalid_dispatch_mode_rejected(toy_model):
     import pytest
 
-    with pytest.raises(ValueError, match="dispatch"):
+    with pytest.raises(ValueError, match="'vector'"):
         InferenceServingSimulator(toy_model, dispatch="quantum")

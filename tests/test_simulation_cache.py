@@ -368,6 +368,11 @@ class TestRunManyUnderTheMemo:
 
     def test_cache_stats_shape(self):
         stats = _isolated_runner(64).cache_stats()
-        assert set(stats) == {"simulation", "service"}
-        for section in stats.values():
-            assert {"hits", "misses", "evictions", "size", "maxsize"} <= set(section)
+        assert set(stats) == {"simulation", "service", "dispatch"}
+        for name in ("simulation", "service"):
+            assert {"hits", "misses", "evictions", "size", "maxsize"} <= set(
+                stats[name]
+            )
+        assert {"linear", "heap", "vector", "vector_fallback"} == set(
+            stats["dispatch"]
+        )

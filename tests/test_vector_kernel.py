@@ -1,0 +1,356 @@
+"""The vector dispatch substrate's bit-identical contract.
+
+The NumPy busy-period kernels (:mod:`repro.simulator.vector_kernel`) must
+reproduce the scalar dispatch loops *bit for bit* — every latency, every
+chosen instance index, every busy second, every queue length — on every
+pool shape they serve.  These property tests drive randomized pools and
+traces through the kernel-vs-scalar comparison, pin the adversarial
+regimes called out in the kernels' correctness arguments (saturation,
+idleness, arrival ties, zero service times, single-query traces, 30+
+instance homogeneous pools), and prove that a full search under
+``dispatch="vector"`` returns the same ``SearchResult`` — golden-tested
+against the recorded bench sequences — as the scalar substrates.
+
+Engagement is tested too: the dispatch counters must show the vector
+kernel actually ran where the policy promises it, and the documented
+heterogeneous-pool fallback must be visible as ``vector_fallback``.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import EvaluationBudget, PoolSpec, Scenario, ScenarioRunner, WorkloadSpec
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.objective import RibbonObjective
+from repro.core.optimizer import RibbonOptimizer
+from repro.core.search_space import SearchSpace
+from repro.models.base import LatencyProfile
+from repro.simulator.engine import InferenceServingSimulator
+from repro.simulator.pool import PoolConfiguration
+from repro.simulator.result_cache import SimulationResultCache
+from repro.simulator.vector_kernel import homogeneous_pool, lindley_single
+from repro.workload.trace import QueryTrace
+from tests.conftest import make_toy_model, make_toy_trace
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_search_core.json"
+
+
+def sim(model, dispatch, **kwargs) -> InferenceServingSimulator:
+    """A simulator with the whole-result memo disabled (A/B comparisons
+    must actually re-dispatch, not replay the first run)."""
+    return InferenceServingSimulator(
+        model,
+        dispatch=dispatch,
+        result_cache=SimulationResultCache(maxsize=0),
+        **kwargs,
+    )
+
+
+def rate_trace(seed: int, n: int, rate: float) -> QueryTrace:
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n))
+    batches = np.clip(
+        np.rint(rng.lognormal(np.log(30.0), 0.8, size=n)), 1, 256
+    ).astype(np.int64)
+    return QueryTrace(arrivals, batches, rate_qps=rate, seed=seed)
+
+
+def assert_identical(a, b, tag=""):
+    """Every SimulationResult field, bit for bit."""
+    np.testing.assert_array_equal(a.latency_s, b.latency_s, err_msg=f"{tag} latency")
+    np.testing.assert_array_equal(a.wait_s, b.wait_s, err_msg=f"{tag} wait")
+    np.testing.assert_array_equal(a.service_s, b.service_s, err_msg=f"{tag} service")
+    np.testing.assert_array_equal(
+        a.instance_index, b.instance_index, err_msg=f"{tag} instance"
+    )
+    np.testing.assert_array_equal(
+        a.busy_s_per_instance, b.busy_s_per_instance, err_msg=f"{tag} busy"
+    )
+    np.testing.assert_array_equal(
+        a.queue_len_at_arrival, b.queue_len_at_arrival, err_msg=f"{tag} queue"
+    )
+    assert a.makespan_s == b.makespan_s, f"{tag} makespan"
+
+
+def assert_vector_matches_scalar(model, trace, pool):
+    vec = sim(model, "vector").simulate(trace, pool)
+    ref = sim(
+        model, "linear" if pool.total_instances == 1 else "heap"
+    ).simulate(trace, pool)
+    assert_identical(vec, ref, str(pool))
+
+
+# -- randomized pools across the load range -----------------------------------
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 400),
+    rate=st.floats(5.0, 3000.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_vector_single_instance_random_workloads(seed, n, rate):
+    model = make_toy_model(noise={"g4dn": 0.1, "t3": 0.2, "c5": 0.15})
+    trace = rate_trace(seed, n, rate)
+    assert_vector_matches_scalar(
+        model, trace, PoolConfiguration.homogeneous("g4dn", 1)
+    )
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    m=st.integers(2, 34),
+    rate=st.floats(5.0, 3000.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_vector_homogeneous_random_pools(seed, m, rate):
+    model = make_toy_model(noise={"g4dn": 0.1, "t3": 0.2, "c5": 0.15})
+    trace = rate_trace(seed, 300, rate)
+    assert_vector_matches_scalar(
+        model, trace, PoolConfiguration.homogeneous("t3", m)
+    )
+
+
+@given(seed=st.integers(0, 10_000), m=st.integers(30, 40))
+@settings(max_examples=10, deadline=None)
+def test_vector_large_homogeneous_saturated(seed, m):
+    """30+-instance pools under load far beyond capacity: queues thousands
+    deep, the homogeneous kernel's target regime."""
+    model = make_toy_model(noise={"g4dn": 0.05, "t3": 0.2, "c5": 0.1})
+    trace = rate_trace(seed, 600, 20_000.0)
+    assert_vector_matches_scalar(
+        model, trace, PoolConfiguration.homogeneous("g4dn", m)
+    )
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_vector_idle_traces(seed):
+    """Near-zero load: every busy period is a single query."""
+    model = make_toy_model()
+    trace = rate_trace(seed, 200, 2.0)
+    for pool in (
+        PoolConfiguration.homogeneous("g4dn", 1),
+        PoolConfiguration.homogeneous("t3", 6),
+    ):
+        assert_vector_matches_scalar(model, trace, pool)
+
+
+# -- adversarial edges ---------------------------------------------------------
+
+
+def _tied_trace(n: int = 120) -> QueryTrace:
+    """Heavy arrival ties: every timestamp is shared by a burst."""
+    arrivals = np.repeat(np.arange(n // 4, dtype=float) * 0.004, 4)
+    batches = np.full(n, 30, dtype=np.int64)
+    return QueryTrace(arrivals, batches, rate_qps=1000.0, seed=11)
+
+
+def test_vector_arrival_ties():
+    model = make_toy_model()
+    for pool in (
+        PoolConfiguration.homogeneous("g4dn", 1),
+        PoolConfiguration.homogeneous("g4dn", 3),
+        PoolConfiguration.homogeneous("t3", 8),
+    ):
+        assert_vector_matches_scalar(model, _tied_trace(), pool)
+
+
+def test_vector_zero_service_times():
+    """A zero-latency profile makes every finish tie its start — the
+    kernels' strict screens must push all of it onto the exact scalar
+    steps without drifting from the reference."""
+    model = make_toy_model()
+    zero_profiles = dict(model.profiles)
+    zero_profiles["t3"] = LatencyProfile(0.0, 0.0)
+    import dataclasses
+
+    model = dataclasses.replace(model, profiles=zero_profiles)
+    trace = rate_trace(3, 150, 500.0)
+    for pool in (
+        PoolConfiguration.homogeneous("t3", 1),
+        PoolConfiguration.homogeneous("t3", 4),
+    ):
+        assert_vector_matches_scalar(model, trace, pool)
+
+
+def test_vector_single_query_trace():
+    model = make_toy_model()
+    trace = rate_trace(5, 1, 100.0)
+    for pool in (
+        PoolConfiguration.homogeneous("g4dn", 1),
+        PoolConfiguration.homogeneous("g4dn", 5),
+    ):
+        assert_vector_matches_scalar(model, trace, pool)
+
+
+def test_vector_kernels_reject_nothing_silently():
+    """Raw kernel edge: empty input arrays."""
+    empty = np.empty(0, dtype=float)
+    starts, finishes, busy, queue = lindley_single(empty, empty, True)
+    assert starts.size == finishes.size == queue.size == 0 and busy == 0.0
+    starts, chosen, busy, queue, makespan = homogeneous_pool(empty, empty, 3, True)
+    assert starts.size == chosen.size == queue.size == 0
+    assert makespan == 0.0 and np.all(busy == 0.0)
+
+
+# -- engagement counters -------------------------------------------------------
+
+
+def test_forced_vector_engages_on_eligible_pools(toy_model):
+    trace = make_toy_trace(toy_model, n=300)
+    s = sim(toy_model, "vector")
+    s.simulate(trace, PoolConfiguration.homogeneous("g4dn", 1))
+    s.simulate(trace, PoolConfiguration.homogeneous("t3", 4))
+    counts = s.dispatch_counts
+    assert counts["vector"] == 2
+    assert counts["vector_fallback"] == 0
+
+
+def test_forced_vector_falls_back_on_heterogeneous_pools(toy_model):
+    trace = make_toy_trace(toy_model, n=300)
+    s = sim(toy_model, "vector")
+    s.simulate(trace, PoolConfiguration(("g4dn", "t3"), (2, 2)))
+    counts = s.dispatch_counts
+    assert counts["heap"] == 1
+    assert counts["vector"] == 0
+    assert counts["vector_fallback"] == 1
+
+
+def test_auto_picks_vector_for_single_instance(toy_model):
+    trace = make_toy_trace(toy_model, n=300)  # >= _VECTOR_MIN_QUERIES
+    s = sim(toy_model, "auto")
+    s.simulate(trace, PoolConfiguration.homogeneous("g4dn", 1))
+    assert s.dispatch_counts["vector"] == 1
+
+
+def test_auto_keeps_scalar_paths_for_small_scalar_regimes(toy_model):
+    s = sim(toy_model, "auto")
+    tiny = make_toy_trace(toy_model, n=20)  # below the vector crossover
+    s.simulate(tiny, PoolConfiguration.homogeneous("g4dn", 1))
+    trace = make_toy_trace(toy_model, n=300)
+    s.simulate(trace, PoolConfiguration(("g4dn", "t3"), (1, 2)))
+    counts = s.dispatch_counts
+    assert counts["vector"] == 0
+    assert counts["linear"] + counts["heap"] == 2
+
+
+def test_memo_hits_do_not_count_as_dispatch(toy_model):
+    trace = make_toy_trace(toy_model, n=200)
+    s = InferenceServingSimulator(
+        toy_model, dispatch="vector", result_cache=SimulationResultCache(maxsize=8)
+    )
+    pool = PoolConfiguration.homogeneous("g4dn", 1)
+    s.simulate(trace, pool)
+    s.simulate(trace, pool)  # memo hit
+    assert s.dispatch_counts["vector"] == 1
+
+
+def test_dispatch_validation_lists_the_full_policy_set(toy_model):
+    with pytest.raises(ValueError) as err:
+        InferenceServingSimulator(toy_model, dispatch="quantum")
+    for policy in ("auto", "linear", "heap", "vector"):
+        assert repr(policy) in str(err.value)
+
+
+# -- runner plumbing -----------------------------------------------------------
+
+
+def _scenario():
+    return Scenario(
+        model="MT-WND",
+        workload=WorkloadSpec(n_queries=500, seed=3, load_factor=1.5),
+        pool=PoolSpec(families=("g4dn", "c5"), bounds=(3, 4)),
+        budget=EvaluationBudget(max_samples=12),
+    )
+
+
+def test_runner_dispatch_validation():
+    from repro.api.scenario import ScenarioError
+
+    with pytest.raises(ScenarioError) as err:
+        ScenarioRunner(_scenario(), dispatch="warp")
+    for policy in ("auto", "linear", "heap", "vector"):
+        assert repr(policy) in str(err.value)
+
+
+def test_runner_reports_dispatch_engagement():
+    runner = ScenarioRunner(
+        _scenario(),
+        dispatch="vector",
+        simulation_cache=SimulationResultCache(maxsize=0),
+    )
+    # The homogeneous scan serves single-family pools only, so under the
+    # forced vector policy every one of its simulations runs the kernel.
+    runner.homogeneous_optimum(seed=0)
+    stats = runner.cache_stats()
+    assert set(stats["dispatch"]) == {
+        "linear",
+        "heap",
+        "vector",
+        "vector_fallback",
+    }
+    assert stats["dispatch"]["vector"] > 0
+    assert stats["dispatch"]["vector_fallback"] == 0
+    assert runner.dispatch_counts() == stats["dispatch"]
+
+
+def test_runner_vector_search_is_bit_identical():
+    """Same scenario, same seed: dispatch="vector" and the scalar default
+    must return the same SearchResult, sample for sample."""
+    kwargs = dict(simulation_cache=SimulationResultCache(maxsize=0))
+    auto = ScenarioRunner(_scenario(), **kwargs).run("ribbon", seed=1)
+    vec = ScenarioRunner(_scenario(), dispatch="vector", **kwargs).run(
+        "ribbon", seed=1
+    )
+    assert [r.pool.counts for r in vec.history] == [
+        r.pool.counts for r in auto.history
+    ]
+    assert [r.qos_rate for r in vec.history] == [r.qos_rate for r in auto.history]
+    assert vec.best.pool.counts == auto.best.pool.counts
+    assert vec.best.cost_per_hour == auto.best.cost_per_hour
+
+
+# -- golden search sequences ---------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_bench_golden_sequence_under_vector_dispatch(seed):
+    """The recorded bench-workload goldens (captured on the scalar
+    engines) replay exactly under dispatch="vector"."""
+    from repro.models.zoo import get_model
+    from repro.workload.trace import trace_for_model
+
+    artifact = json.loads(BENCH_JSON.read_text())
+    spec, golden = artifact["workload"], artifact["golden"]
+    model = get_model(spec["model"])
+    trace = trace_for_model(
+        model,
+        n_queries=spec["n_queries"],
+        seed=spec["trace_seed"],
+        load_factor=spec["load_factor"],
+    )
+    space = SearchSpace(tuple(spec["families"]), tuple(spec["bounds"]))
+    evaluator = ConfigurationEvaluator(
+        model,
+        trace,
+        RibbonObjective(space),
+        result_cache=SimulationResultCache(maxsize=0),
+        dispatch="vector",
+    )
+    res = RibbonOptimizer(max_samples=spec["max_samples"], seed=seed).search(
+        evaluator
+    )
+    expected = golden[str(seed)]
+    assert res.best is not None
+    assert list(res.best.pool.counts) == expected["best"]
+    assert [list(r.pool.counts) for r in res.history] == expected["sequence"]
+    # Heterogeneous samples served by the documented heap fallback, any
+    # single-family samples by the kernel — all of it dispatched.
+    counts = evaluator.simulator.dispatch_counts
+    assert counts["heap"] + counts["vector"] == evaluator.n_evaluations
