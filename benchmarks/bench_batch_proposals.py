@@ -1,0 +1,277 @@
+"""Batched proposal engine vs the sequential BO schedule (repo infra).
+
+Times the paper-style multi-seed Ribbon sweep in the two proposal
+regimes the PR introduced:
+
+* **sequential** — the paper's schedule: one GP surrogate update and one
+  full-grid EI predict per sample (``batch_size=1``,
+  :class:`~repro.gp.proposals.SequentialEI`);
+* **batched** — constant-liar q-EI (``batch_size=8``): one surrogate
+  update and one full (mean + std) grid predict per *batch*, fantasy
+  rank-1 updates in between, and the proposed pools evaluated together
+  through ``Budget.evaluate_batch`` with thread-parallel simulation.
+
+Both sides share one warmed service-time cache and get an identical
+fresh simulation memo, so the ratio isolates the proposal/evaluation
+schedule.  ``BENCH_batch_proposals.json`` records the trajectory in the
+shared artifact format (see :mod:`_artifact`).  The bench
+
+* asserts the **bit-identity contract**: ``batch_size=1`` under
+  ``ConstantLiarQEI`` replays the sequential sweep's golden per-seed
+  sample sequences exactly,
+* asserts the batch engine actually **engaged** (per-result metadata:
+  engine name + batch count),
+* runs the **streaming-argmax demonstration**: a 5-family, 10^6+-cell
+  lattice searched end-to-end without ever materializing
+  ``SearchSpace.grid()`` (the streamed block-wise acquisition path), and
+* enforces the >= 2x sweep speedup on the recording host
+  (``BENCH_ENFORCE_SPEEDUP=1/0`` overrides, as in the sibling benches).
+
+CI runs this bench with ``BENCH_BATCH_SMOKE=1``: shrunken trace and seed
+set, engagement + bit-identity + streaming asserts only (wall-clock
+ratios against another host's baseline are meaningless there).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+
+import pytest
+from _artifact import BenchArtifact
+
+from repro.api import (
+    EvaluationBudget,
+    PoolSpec,
+    Scenario,
+    ScenarioRunner,
+    WorkloadSpec,
+)
+from repro.simulator.result_cache import SimulationResultCache
+from repro.simulator.service import ServiceTimeCache
+
+SPEEDUP_TARGET = 2.0
+MEASURE_PASSES = 3
+MAX_MEASURE_PASSES = 8
+
+SMOKE = os.environ.get("BENCH_BATCH_SMOKE") == "1"
+
+
+@pytest.fixture(scope="module")
+def batch_ctx():
+    spec = dict(BenchArtifact("BENCH_batch_proposals.json").workload)
+    if SMOKE:
+        spec["n_queries"] = 600
+        spec["sweep_seeds"] = spec["sweep_seeds"][:2]
+        spec["max_samples"] = 20
+    scenario = Scenario(
+        model=spec["model"],
+        workload=WorkloadSpec(
+            n_queries=spec["n_queries"],
+            seed=spec["workload_seed"],
+            load_factor=spec["load_factor"],
+        ),
+        pool=PoolSpec(
+            families=tuple(spec["families"]), bounds=tuple(spec["bounds"])
+        ),
+        budget=EvaluationBudget(max_samples=spec["max_samples"]),
+    )
+    return spec, scenario, tuple(spec["sweep_seeds"])
+
+
+def _runner(scenario, service):
+    # Fresh per-sweep memo (seeds share it, sides don't), shared warmed
+    # service cache: the ratio isolates the proposal/evaluation schedule.
+    return ScenarioRunner(
+        scenario,
+        service_cache=service,
+        simulation_cache=SimulationResultCache(maxsize=4096),
+    )
+
+
+def _sweep(scenario, service, seeds, **kwargs):
+    runner = _runner(scenario, service)
+    t0 = time.perf_counter()
+    results = runner.run_many("ribbon", seeds=seeds, patience=None, **kwargs)
+    return time.perf_counter() - t0, results
+
+
+def _sequences(results):
+    return {
+        seed: {
+            "best": list(res.best.pool.counts) if res.best else None,
+            "sequence": [list(r.pool.counts) for r in res.history],
+        }
+        for seed, res in results.items()
+    }
+
+
+def test_perf_batch_proposals(benchmark, batch_ctx):
+    spec, scenario, seeds = batch_ctx
+    batch_size = spec["batch_size"]
+    service = ServiceTimeCache()
+
+    # Warm-up (materialization + service matrix), then the sequential
+    # reference sweep.
+    _sweep(scenario, service, seeds)
+    seq_times = []
+    for _ in range(1 if SMOKE else MEASURE_PASSES):
+        dt, seq_results = _sweep(scenario, service, seeds)
+        seq_times.append(dt)
+
+    # Bit-identity contract: the batch engine at batch_size=1 replays the
+    # sequential sample sequences exactly (same seeds -> same results).
+    _, qei1_results = _sweep(
+        scenario,
+        service,
+        seeds,
+        batch_size=1,
+        proposal_engine="constant-liar-qei",
+    )
+    assert _sequences(qei1_results) == _sequences(seq_results)
+
+    # The batched sweep (one surrogate update + one std-bearing grid
+    # predict per batch, thread-parallel evaluation of each batch).
+    batch_times = []
+
+    def measured():
+        dt, results = _sweep(scenario, service, seeds, batch_size=batch_size)
+        batch_times.append(dt)
+        return results
+
+    batch_results = benchmark.pedantic(
+        measured, rounds=1 if SMOKE else MEASURE_PASSES, iterations=1
+    )
+    while (
+        not SMOKE
+        and min(batch_times) * SPEEDUP_TARGET > min(seq_times) * 0.95
+        and len(batch_times) < MAX_MEASURE_PASSES
+    ):
+        dt, batch_results = _sweep(scenario, service, seeds, batch_size=batch_size)
+        batch_times.append(dt)
+
+    # Engagement: every seed ran the constant-liar engine in true batches,
+    # stayed within budget, and never re-sampled a cell.
+    for seed, res in batch_results.items():
+        assert res.metadata["proposal_engine"] == "constant-liar-qei", seed
+        assert res.metadata["proposal_batches"] >= 1, seed
+        counts = [r.pool.counts for r in res.history]
+        assert len(counts) == len(set(counts)) <= spec["max_samples"], seed
+        assert res.best is not None, seed
+
+    # Streaming-argmax demonstration: a 5-family, 10^6+-cell lattice is
+    # searched end to end without ever materializing the grid.
+    demo = spec["streaming_demo"]
+    demo_scenario = Scenario(
+        model=spec["model"],
+        workload=WorkloadSpec(
+            n_queries=demo["n_queries"],
+            seed=spec["workload_seed"],
+            load_factor=spec["load_factor"],
+        ),
+        pool=PoolSpec(
+            families=tuple(demo["families"]), bounds=tuple(demo["bounds"])
+        ),
+        budget=EvaluationBudget(max_samples=demo["max_samples"]),
+    )
+    demo_runner = _runner(demo_scenario, service)
+    mat = demo_runner.materialize(0)
+    n_cells = mat.space.n_configurations
+    assert n_cells >= 10**6
+    t0 = time.perf_counter()
+    demo_result = demo_runner.run(
+        "ribbon", seed=0, n_initial=2, patience=None
+    )
+    demo_wall = time.perf_counter() - t0
+    assert demo_result.metadata["acquisition_streamed"] is True
+    assert len(demo_result.history) == demo["max_samples"]
+    assert "_grid" not in mat.space.__dict__, "streamed search built the grid"
+
+    if SMOKE:
+        return  # shrunken workload: goldens/timings are not comparable
+
+    artifact = BenchArtifact("BENCH_batch_proposals.json")
+    artifact.ensure_section(
+        "golden", {str(s): v for s, v in _sequences(seq_results).items()}
+    )
+    artifact.ensure_section(
+        "baseline_sequential",
+        {
+            "host": platform.node(),
+            "recorded_at": time.strftime("%Y-%m-%d"),
+            "wall_s": min(seq_times),
+        },
+    )
+    for seed in seeds:
+        golden = artifact.golden[str(seed)]
+        got = _sequences(seq_results)[seed]
+        assert got["best"] == golden["best"], f"seed {seed}"
+        assert got["sequence"] == golden["sequence"], f"seed {seed} sequence"
+
+    seq_wall, batch_wall = min(seq_times), min(batch_times)
+    speedup = seq_wall / batch_wall
+    artifact.record(
+        sequential_wall_s=seq_wall,
+        batched_wall_s=batch_wall,
+        speedup_batched=speedup,
+        batch_size=batch_size,
+        streaming_demo={
+            "n_cells": n_cells,
+            "families": len(demo["families"]),
+            "max_samples": demo["max_samples"],
+            "wall_s": demo_wall,
+            "streamed": True,
+        },
+    )
+    artifact.enforce_speedup(
+        speedup,
+        SPEEDUP_TARGET,
+        baseline_host=artifact.baseline("baseline_sequential")["host"],
+        label=(
+            f"batched (q={batch_size}) {len(seeds)}-seed sweep vs the "
+            "sequential proposal schedule"
+        ),
+    )
+
+
+def test_streamed_equals_materialized_argmax(batch_ctx):
+    """Block-streamed acquisition argmax == materialized argmax.
+
+    Forced streaming with a deliberately awkward block size must replay
+    the materialized-grid search sequence on the bench workload.
+    """
+    spec, scenario, seeds = batch_ctx
+    service = ServiceTimeCache()
+    runner = _runner(scenario, service)
+    seed = seeds[0]
+    materialized = runner.run(
+        "ribbon", seed=seed, fresh_evaluator=True, patience=None, stream="never"
+    )
+    streamed = runner.run(
+        "ribbon",
+        seed=seed,
+        fresh_evaluator=True,
+        patience=None,
+        stream="always",
+        stream_block_size=97,
+    )
+    assert [r.pool.counts for r in materialized.history] == [
+        r.pool.counts for r in streamed.history
+    ]
+    assert streamed.metadata["acquisition_streamed"] is True
+
+
+def test_batch_parallel_evaluation_is_deterministic(batch_ctx):
+    """Thread-parallel batch evaluation returns the serial result."""
+    spec, scenario, seeds = batch_ctx
+    service = ServiceTimeCache()
+    seed = seeds[0]
+    kwargs = dict(batch_size=spec["batch_size"], patience=None)
+    _, serial = _sweep(
+        scenario, service, (seed,), batch_parallel=False, **kwargs
+    )
+    _, threaded = _sweep(
+        scenario, service, (seed,), batch_parallel=True, **kwargs
+    )
+    assert _sequences(serial) == _sequences(threaded)

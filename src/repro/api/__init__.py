@@ -28,11 +28,13 @@ Quickstart::
 """
 
 from repro.api.registry import (
+    StrategyOption,
     UnknownStrategyError,
     available_strategies,
     make_strategy,
     register_strategy,
     strategy_class,
+    strategy_options,
 )
 from repro.api.runner import MaterializedScenario, ScenarioRunner, runner_for
 from repro.api.scenario import (
@@ -54,6 +56,7 @@ __all__ = [
     "ScenarioBuilder",
     "ScenarioError",
     "ScenarioRunner",
+    "StrategyOption",
     "UnknownStrategyError",
     "WorkloadSpec",
     "available_strategies",
@@ -61,4 +64,5 @@ __all__ = [
     "register_strategy",
     "runner_for",
     "strategy_class",
+    "strategy_options",
 ]

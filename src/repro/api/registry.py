@@ -19,7 +19,9 @@ optimizer plugs into every existing entry point by subclassing
 
 from __future__ import annotations
 
-from typing import Callable, TypeVar
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
 
 from repro.baselines.exhaustive import ExhaustiveSearch
 from repro.baselines.hill_climb import HillClimb
@@ -29,11 +31,13 @@ from repro.core.optimizer import RibbonOptimizer
 from repro.core.strategy import SearchStrategy
 
 __all__ = [
+    "StrategyOption",
     "UnknownStrategyError",
     "available_strategies",
     "make_strategy",
     "register_strategy",
     "strategy_class",
+    "strategy_options",
 ]
 
 S = TypeVar("S", bound=type[SearchStrategy])
@@ -140,6 +144,54 @@ def make_strategy(name: str, **kwargs) -> SearchStrategy:
 def available_strategies() -> tuple[str, ...]:
     """Canonical names of every registered strategy, sorted."""
     return tuple(sorted(_STRATEGIES))
+
+
+@dataclass(frozen=True)
+class StrategyOption:
+    """One constructor knob of a registered strategy."""
+
+    name: str
+    default: Any
+    annotation: str
+    required: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.required:
+            return f"{self.name} (required)"
+        return f"{self.name}={self.default!r}"
+
+
+def strategy_options(name: str) -> tuple[StrategyOption, ...]:
+    """The constructor options a strategy accepts, with their defaults.
+
+    Introspected from the strategy class's ``__init__`` signature, in
+    declaration order; var-positional/var-keyword catch-alls are omitted.
+    This is what ``repro-ribbon strategies`` surfaces, and what the CLI
+    uses to reject knobs a strategy does not support (e.g.
+    ``--batch-size`` on a non-batching baseline) before any search runs.
+    """
+    cls = strategy_class(name)
+    options: list[StrategyOption] = []
+    for param in inspect.signature(cls.__init__).parameters.values():
+        if param.name == "self" or param.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        required = param.default is inspect.Parameter.empty
+        annotation = (
+            "" if param.annotation is inspect.Parameter.empty
+            else str(param.annotation)
+        )
+        options.append(
+            StrategyOption(
+                name=param.name,
+                default=None if required else param.default,
+                annotation=annotation,
+                required=required,
+            )
+        )
+    return tuple(options)
 
 
 # -- built-in registrations -------------------------------------------------------

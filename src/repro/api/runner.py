@@ -23,7 +23,7 @@ from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
-from repro.api.registry import make_strategy
+from repro.api.registry import make_strategy, strategy_options
 from repro.api.scenario import PoolSpec, Scenario, ScenarioError
 from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
 from repro.core.objective import RibbonObjective
@@ -400,6 +400,14 @@ class ScenarioRunner:
             return strategy
         strategy_kwargs.setdefault("max_samples", self.scenario.budget.max_samples)
         strategy_kwargs.setdefault("seed", seed)
+        # The scenario's batch size reaches every strategy that can batch
+        # (Ribbon's proposal engines); strategies without the knob — the
+        # sequential baselines — are left untouched rather than broken.
+        batch_size = self.scenario.budget.batch_size
+        if batch_size != 1 and any(
+            opt.name == "batch_size" for opt in strategy_options(strategy)
+        ):
+            strategy_kwargs.setdefault("batch_size", batch_size)
         return make_strategy(strategy, **strategy_kwargs)
 
     def _resolve_start(

@@ -189,10 +189,17 @@ class EvaluationBudget:
     eval_duration_hours:
         Wall-clock hours one evaluation is billed for in the exploration
         cost accounting; ``None`` uses the trace duration.
+    batch_size:
+        Configurations proposed (and deployable concurrently) per search
+        iteration.  ``1`` is the paper's sequential schedule; larger
+        values switch batch-capable strategies (Ribbon's constant-liar
+        q-EI engine) to batched proposals with parallel evaluation.
+        Strategies without a ``batch_size`` knob simply ignore it.
     """
 
     max_samples: int = 40
     eval_duration_hours: float | None = None
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if int(self.max_samples) < 1:
@@ -205,6 +212,11 @@ class EvaluationBudget:
                 f"budget eval_duration_hours must be positive, got "
                 f"{self.eval_duration_hours!r}"
             )
+        if int(self.batch_size) < 1:
+            raise ScenarioError(
+                f"budget batch_size must be >= 1, got {self.batch_size!r}"
+            )
+        object.__setattr__(self, "batch_size", int(self.batch_size))
 
 
 @dataclass(frozen=True)
@@ -417,12 +429,15 @@ class ScenarioBuilder:
         max_samples: int | None = None,
         *,
         eval_duration_hours: float | None = None,
+        batch_size: int | None = None,
     ) -> "ScenarioBuilder":
         """Set the evaluation budget."""
         if max_samples is not None:
             self._budget["max_samples"] = max_samples
         if eval_duration_hours is not None:
             self._budget["eval_duration_hours"] = eval_duration_hours
+        if batch_size is not None:
+            self._budget["batch_size"] = batch_size
         return self
 
     def build(self) -> Scenario:

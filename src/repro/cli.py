@@ -35,6 +35,7 @@ from repro.api import (
     available_strategies,
     make_strategy,
     strategy_class,
+    strategy_options,
 )
 
 ALL_MODELS = ("CANDLE", "ResNet50", "VGG19", "MT-WND", "DIEN")
@@ -133,9 +134,37 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     strategy_class(args.method)  # fail fast, before the costly materialization
+    kwargs = {"max_samples": args.samples, "seed": args.seed}
+    extras = {
+        "batch_size": args.batch_size,
+        "proposal_engine": args.proposal_engine,
+    }
+    supported = {opt.name for opt in strategy_options(args.method)}
+    for knob, value in extras.items():
+        if value is None:
+            continue
+        if knob not in supported:
+            if knob == "batch_size" and value == 1:
+                # The sequential default is a no-op everywhere; strategies
+                # without the knob simply ignore it (runner semantics).
+                continue
+            flag = "--" + knob.replace("_", "-")
+            print(
+                f"error: strategy {args.method!r} does not accept {flag} "
+                f"(its options: {', '.join(sorted(supported))})",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs[knob] = value
+    try:
+        # Bad knob *values* (unknown proposal engine, a non-batching
+        # engine with --batch-size > 1) surface here as ValueError.
+        strategy = make_strategy(args.method, **kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     setting = ExperimentSetting(n_queries=args.queries)
     exp = make_experiment(args.model, setting)
-    strategy = make_strategy(args.method, max_samples=args.samples, seed=args.seed)
     result = strategy.search(exp.evaluator, start=exp.default_start())
     print(result.summary())
     if result.best is not None:
@@ -160,6 +189,11 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
             title="registered search strategies (repro.api.register_strategy)",
         )
     )
+    print()
+    print("constructor options (pass as Scenario.run(...) kwargs):")
+    for name in available_strategies():
+        opts = ", ".join(str(opt) for opt in strategy_options(name))
+        print(f"  {name}: {opts}")
     return 0
 
 
@@ -201,6 +235,23 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--queries", type=int, default=4000)
     ps.add_argument("--samples", type=int, default=40)
     ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "proposals per BO iteration (batch-capable strategies only; "
+            "default 1 = the paper's sequential schedule)"
+        ),
+    )
+    ps.add_argument(
+        "--proposal-engine",
+        default=None,
+        help=(
+            "acquisition maximizer for ribbon: sequential-ei or "
+            "constant-liar-qei (default picks by --batch-size)"
+        ),
+    )
     ps.set_defaults(func=_cmd_search)
 
     pl = sub.add_parser("strategies", help="list the registered strategies")

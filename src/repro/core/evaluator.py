@@ -11,6 +11,9 @@ dollar cost of exploration (Fig. 13/14 accounting).
 
 from __future__ import annotations
 
+import os
+from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.objective import ObjectiveFunction
@@ -202,43 +205,121 @@ class ConfigurationEvaluator:
         return self._cost_per_hour_sum * self._eval_hours
 
     def exhaustive_cost_dollars(self) -> float:
-        """Dollars to exhaustively deploy every configuration in the space."""
-        grid = self.space.grid()
-        return float((grid @ self.space.prices).sum() * self._eval_hours)
+        """Dollars to exhaustively deploy every configuration in the space.
+
+        Computed in closed form (:attr:`SearchSpace.total_lattice_cost`)
+        so pricing the lattice never materializes it — streamed-argmax
+        searches over ``10^6+``-cell spaces must stay grid-free end to
+        end.
+        """
+        return float(self.space.total_lattice_cost * self._eval_hours)
 
     # -- evaluation ---------------------------------------------------------------
     def evaluate(self, pool: PoolConfiguration) -> EvaluationRecord:
         """Evaluate a configuration (cached; cache hits are free)."""
-        if pool.families != self.space.families:
-            raise ValueError(
-                f"pool families {pool.families} do not match search space "
-                f"{self.space.families}"
-            )
+        self._check_families(pool)
         key = pool.counts
         hit = self._cache.get(key)
         if hit is not None:
             return hit
         if pool.is_empty():
-            # The empty pool serves nothing: rate 0, cost 0.
-            record = EvaluationRecord(
-                pool=pool,
-                qos_rate=0.0,
-                cost_per_hour=0.0,
-                objective=self._objective.value(pool.counts, 0.0),
-                meets_qos=False,
-                sample_index=len(self._history),
-                p99_ms=float("inf"),
-                mean_queue_length=float("inf"),
-            )
+            record = self._empty_pool_record(pool)
         else:
             result = self._sim.simulate(self._trace, pool)
             record = self._record_from_result(pool, result)
+        self._admit(key, record)
+        return record
+
+    def evaluate_many(
+        self,
+        pools: Iterable[PoolConfiguration],
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> list[EvaluationRecord]:
+        """Evaluate several configurations; records in ``pools`` order.
+
+        With ``parallel=True`` the *simulations* of uncached pools run on
+        a thread pool (safe: the simulator keeps no per-call state, its
+        caches are lock-protected, and dispatch counters aggregate under
+        their own lock), while the records — sample indices, history
+        order, exploration accounting — are still admitted sequentially
+        in ``pools`` order, so the result is bit-identical to the serial
+        path.
+        """
+        pools = list(pools)
+        for pool in pools:
+            self._check_families(pool)
+        presimulated: dict[tuple[int, ...], SimulationResult] = {}
+        if parallel and len(pools) > 1:
+            fresh: list[PoolConfiguration] = []
+            seen: set[tuple[int, ...]] = set()
+            for pool in pools:
+                if (
+                    pool.counts in self._cache
+                    or pool.counts in seen
+                    or pool.is_empty()
+                ):
+                    continue
+                seen.add(pool.counts)
+                fresh.append(pool)
+            if len(fresh) > 1:
+                workers = (
+                    max_workers
+                    if max_workers is not None
+                    else min(len(fresh), os.cpu_count() or 1)
+                )
+                with ThreadPoolExecutor(max_workers=workers) as executor:
+                    results = list(
+                        executor.map(
+                            lambda p: self._sim.simulate(self._trace, p), fresh
+                        )
+                    )
+                presimulated = {
+                    p.counts: r for p, r in zip(fresh, results)
+                }
+        records = []
+        for pool in pools:
+            result = (
+                presimulated.pop(pool.counts, None)
+                if pool.counts not in self._cache
+                else None
+            )
+            if result is not None:
+                record = self._record_from_result(pool, result)
+                self._admit(pool.counts, record)
+            else:
+                record = self.evaluate(pool)
+            records.append(record)
+        return records
+
+    def _check_families(self, pool: PoolConfiguration) -> None:
+        if pool.families != self.space.families:
+            raise ValueError(
+                f"pool families {pool.families} do not match search space "
+                f"{self.space.families}"
+            )
+
+    def _empty_pool_record(self, pool: PoolConfiguration) -> EvaluationRecord:
+        # The empty pool serves nothing: rate 0, cost 0.
+        return EvaluationRecord(
+            pool=pool,
+            qos_rate=0.0,
+            cost_per_hour=0.0,
+            objective=self._objective.value(pool.counts, 0.0),
+            meets_qos=False,
+            sample_index=len(self._history),
+            p99_ms=float("inf"),
+            mean_queue_length=float("inf"),
+        )
+
+    def _admit(self, key: tuple[int, ...], record: EvaluationRecord) -> None:
+        """Store one newly measured record (cache, history, accounting)."""
         self._cache[key] = record
         self._history.append(record)
         self._cost_per_hour_sum += record.cost_per_hour
         if not record.meets_qos:
             self._n_violating += 1
-        return record
 
     def _record_from_result(
         self, pool: PoolConfiguration, result: SimulationResult

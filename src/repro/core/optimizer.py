@@ -16,6 +16,17 @@ The optimizer also accepts *pseudo-observations* — estimated objective
 values injected as GP training data without costing evaluations — which is
 how the load-adaptation warm start of Sec. 4 feeds its set-S estimates in.
 
+The acquisition/proposal step is pluggable (:mod:`repro.gp.proposals`):
+the default :class:`~repro.gp.proposals.SequentialEI` engine reproduces
+the paper's one-proposal-per-iteration schedule bit-for-bit, while
+``batch_size > 1`` switches to the constant-liar q-EI engine — one
+surrogate update and one full grid predict amortized over ``batch_size``
+proposals, evaluated together through :meth:`~repro.core.strategy.Budget.
+evaluate_batch` (optionally thread-parallel).  Large lattices (5+
+families, ``10^6+`` cells) are swept block-by-block through
+:meth:`~repro.core.search_space.SearchSpace.iter_grid` instead of being
+materialized; the ``stream`` knob forces either regime.
+
 Hot-path notes: the lattice, its unit-cube normalization, and the kernel's
 theta-independent view of it (rounding + squared norms) are prepared once
 per search and reused by every EI sweep; each GP refit runs the
@@ -38,9 +49,12 @@ import numpy as np
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.pruning import PruneSet
 from repro.core.strategy import Budget, SearchStrategy
-from repro.gp.acquisition import expected_improvement
 from repro.gp.kernels import Kernel, Matern52, RoundedKernel
-from repro.gp.regression import GaussianProcessRegressor
+from repro.gp.proposals import (
+    AcquisitionContext,
+    ProposalEngine,
+    resolve_proposal_engine,
+)
 from repro.simulator.pool import PoolConfiguration
 
 
@@ -84,6 +98,33 @@ class RibbonOptimizer(SearchStrategy):
         surrogate alive and fold new samples in with the incremental rank-1
         Cholesky update between refits: same search contract, lower cost
         per iteration, but a (slightly) different sample sequence.
+    batch_size:
+        Proposals per BO iteration.  ``1`` (the default) is the paper's
+        sequential schedule.  Larger values propose a q-point batch per
+        surrogate update (constant-liar q-EI unless ``proposal_engine``
+        overrides it) and evaluate it in one :meth:`Budget.evaluate_batch`
+        call — amortizing the GP refit and grid predict over the batch and
+        enabling thread-parallel simulation of the proposed pools.
+    proposal_engine:
+        The acquisition maximizer: an engine name (``"sequential-ei"``,
+        ``"constant-liar-qei"``), a :class:`~repro.gp.proposals.
+        ProposalEngine` instance, or ``None`` to pick the default for
+        ``batch_size``.
+    batch_parallel:
+        Simulate the proposals of one batch on a thread pool
+        (``batch_size > 1`` only).  Record order — and therefore the
+        search result — is deterministic either way; simulations are
+        bit-identical by the dispatch-substrate contract.
+    stream:
+        Lattice regime for the acquisition argmax: ``"auto"`` (default)
+        streams block-wise only when the lattice exceeds
+        :attr:`~repro.gp.proposals.LatticeView.AUTO_STREAM_CELLS` cells,
+        ``"never"`` forces the materialized cached grid, ``"always"``
+        forces streaming.  Streaming never materializes the grid, so peak
+        acquisition memory is bounded by ``stream_block_size`` rows.
+    stream_block_size:
+        Rows per streamed lattice block (``None`` = the LatticeView
+        default).
     """
 
     name = "RIBBON"
@@ -103,6 +144,11 @@ class RibbonOptimizer(SearchStrategy):
         prune_seed: Sequence[tuple[int, ...]] = (),
         gp_noise: float = 1e-5,
         refit_period: int = 1,
+        batch_size: int = 1,
+        proposal_engine: str | ProposalEngine | None = None,
+        batch_parallel: bool = True,
+        stream: str = "auto",
+        stream_block_size: int | None = None,
     ):
         super().__init__(max_samples=max_samples, seed=seed)
         if n_initial < 1:
@@ -113,8 +159,25 @@ class RibbonOptimizer(SearchStrategy):
             raise ValueError("patience must be >= 1 or None")
         if refit_period < 1:
             raise ValueError(f"refit_period must be >= 1, got {refit_period!r}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+        if stream not in ("auto", "never", "always"):
+            raise ValueError(
+                f"stream must be 'auto', 'never' or 'always', got {stream!r}"
+            )
+        if stream_block_size is not None and int(stream_block_size) < 1:
+            raise ValueError(
+                f"stream_block_size must be >= 1, got {stream_block_size!r}"
+            )
         self.n_initial = int(n_initial)
         self.refit_period = int(refit_period)
+        self.batch_size = int(batch_size)
+        self.proposal_engine = resolve_proposal_engine(
+            proposal_engine, self.batch_size
+        )
+        self.batch_parallel = bool(batch_parallel)
+        self.stream = stream
+        self.stream_block_size = stream_block_size
         self.prune_threshold = float(prune_threshold)
         self.patience = patience
         self.use_rounding = bool(use_rounding)
@@ -149,41 +212,30 @@ class RibbonOptimizer(SearchStrategy):
         space = evaluator.space
         objective = evaluator.objective
         rng = np.random.default_rng(self.seed)
-        grid = space.grid()
-        grid_unit = space.grid_unit()
-        # Theta-independent kernel view of the lattice (rounded inputs +
-        # squared norms), prepared once and reused by every EI sweep.
-        grid_prepared = self._make_kernel(space.bounds).precompute_input(grid_unit)
-        bounds_vec = np.asarray(space.bounds, dtype=float)
         prune = PruneSet(space.prices)
         if self.use_pruning:
             for counts in self.prune_seed:
                 prune.add_violator(counts)
         self.prune_set = prune
 
-        sampled_idx: set[int] = set()
-        index_of = {tuple(int(v) for v in row): i for i, row in enumerate(grid)}
-
-        observations_x: list[np.ndarray] = []
-        observations_y: list[float] = []
+        ctx = AcquisitionContext(
+            space,
+            self._make_kernel(space.bounds),
+            rng=rng,
+            make_kernel=lambda: self._make_kernel(space.bounds),
+            prune=prune if self.use_pruning else None,
+            gp_noise=self.gp_noise,
+            refit_period=self.refit_period,
+            stream=self.stream,
+            block_size=self.stream_block_size,
+        )
         for pseudo in self.pseudo_observations:
-            vec = np.asarray(pseudo.counts, dtype=float)
-            observations_x.append(vec / bounds_vec)
-            observations_y.append(float(pseudo.objective))
-        # Persistent surrogate for refit_period > 1:
-        # [gp, n_obs_incorporated, n_obs_at_last_full_refit].
-        surrogate: list = [None, 0, 0]
+            ctx.add_pseudo_observation(pseudo.counts, pseudo.objective)
+        engine = self.proposal_engine
 
-        def record_sample(pool: PoolConfiguration) -> bool:
-            """Evaluate, learn, and update pruning; False when out of budget."""
-            rec = budget.evaluate(pool)
-            if rec is None:
-                return False
-            idx = index_of.get(pool.counts)
-            if idx is not None:
-                sampled_idx.add(idx)
-            observations_x.append(np.asarray(pool.counts, dtype=float) / bounds_vec)
-            observations_y.append(rec.objective)
+        def learn(pool: PoolConfiguration, rec) -> None:
+            """Feed one evaluation into the surrogate data and pruning."""
+            ctx.observe(pool.counts, rec.objective)
             if self.use_pruning:
                 if rec.meets_qos:
                     prune.update_cost_threshold(rec.cost_per_hour)
@@ -192,150 +244,79 @@ class RibbonOptimizer(SearchStrategy):
                     < objective.qos_rate_target - self.prune_threshold
                 ):
                     prune.add_violator(pool.counts)
+
+        def record_sample(pool: PoolConfiguration) -> bool:
+            """Evaluate, learn, and update pruning; False when out of budget."""
+            rec = budget.evaluate(pool)
+            if rec is None:
+                return False
+            learn(pool, rec)
             return True
 
-        # ---- initial design -------------------------------------------------
-        if start is None:
-            mid = tuple(max(1, round(b / 2)) for b in space.bounds)
-            start = space.pool(mid)
-        if not space.contains(start):
-            raise ValueError(f"start {start} outside search space {space}")
-        if not record_sample(start):
-            return
-        while budget.n_samples < min(self.n_initial, self.max_samples):
-            cand = self._random_unsampled(grid, sampled_idx, prune, rng)
-            if cand is None:
+        # Search-constant metadata first, loop/prune statistics in the
+        # finally below: every exit path — the early returns out of the
+        # initial design included — reports the full metadata set.
+        budget.metadata["proposal_engine"] = engine.name
+        budget.metadata["acquisition_streamed"] = ctx.lattice.streaming
+        n_batches = 0
+        try:
+            # ---- initial design ---------------------------------------------
+            if start is None:
+                mid = tuple(max(1, round(b / 2)) for b in space.bounds)
+                start = space.pool(mid)
+            if not space.contains(start):
+                raise ValueError(f"start {start} outside search space {space}")
+            if not record_sample(start):
                 return
-            if not record_sample(space.pool(grid[cand])):
-                return
+            while budget.n_samples < min(self.n_initial, self.max_samples):
+                cand = ctx.random_unsampled()
+                if cand is None:
+                    return
+                if not record_sample(space.pool(ctx.counts_at(cand))):
+                    return
 
-        # ---- BO loop -----------------------------------------------------------
-        stale = 0
-        best_cost = np.inf
-        incumbent = budget.best_satisfying()
-        if incumbent is not None:
-            best_cost = incumbent.cost_per_hour
-        while not budget.exhausted:
-            candidates = self._candidate_mask(grid, sampled_idx, prune)
-            if not candidates.any():
-                budget.stopped = True
-                break
-            next_idx = self._propose(
-                grid_prepared,
-                observations_x,
-                observations_y,
-                candidates,
-                space,
-                rng,
-                surrogate,
-            )
-            pool = space.pool(grid[next_idx])
-            if not record_sample(pool):
-                break
-            rec = budget.window()[-1]
-            if rec.meets_qos and rec.cost_per_hour < best_cost - 1e-12:
-                best_cost = rec.cost_per_hour
-                stale = 0
-            else:
-                stale += 1
-            if (
-                self.patience is not None
-                and np.isfinite(best_cost)
-                and stale >= self.patience
-            ):
-                budget.stopped = True
-                break
-        budget.metadata["n_pruned_final"] = prune.n_pruned(grid)
-        budget.metadata["cost_threshold"] = prune.cost_threshold
-
-    # -- helpers -------------------------------------------------------------
-    def _candidate_mask(
-        self, grid: np.ndarray, sampled_idx: set[int], prune: PruneSet
-    ) -> np.ndarray:
-        mask = np.ones(grid.shape[0], dtype=bool)
-        if sampled_idx:
-            mask[list(sampled_idx)] = False
-        if self.use_pruning:
-            mask &= ~prune.mask(grid)
-        return mask
-
-    def _random_unsampled(
-        self,
-        grid: np.ndarray,
-        sampled_idx: set[int],
-        prune: PruneSet,
-        rng: np.random.Generator,
-    ) -> int | None:
-        mask = self._candidate_mask(grid, sampled_idx, prune)
-        idx = np.flatnonzero(mask)
-        if idx.size == 0:
-            return None
-        return int(rng.choice(idx))
-
-    def _propose(
-        self,
-        grid_prepared,
-        observations_x: list[np.ndarray],
-        observations_y: list[float],
-        candidates: np.ndarray,
-        space,
-        rng: np.random.Generator,
-        surrogate: list,
-    ) -> int:
-        """Update the GP and return the index of the EI-maximizing candidate."""
-        gp = self._surrogate_gp(
-            observations_x, observations_y, space, rng, surrogate
-        )
-        mean, std = gp.predict(grid_prepared, return_std=True)
-        best_observed = float(np.max(observations_y))
-        ei = expected_improvement(mean, std, best_observed=best_observed)
-        ei = np.where(candidates, ei, -np.inf)
-        best = float(ei.max())
-        if not np.isfinite(best) or best <= 0.0:
-            # Flat acquisition: fall back to the highest-variance candidate,
-            # breaking ties randomly (pure exploration).
-            score = np.where(candidates, std, -np.inf)
-            top = np.flatnonzero(score >= score.max() - 1e-15)
-            return int(rng.choice(top))
-        top = np.flatnonzero(ei >= best * (1.0 - 1e-9))
-        return int(rng.choice(top))
-
-    def _surrogate_gp(
-        self,
-        observations_x: list[np.ndarray],
-        observations_y: list[float],
-        space,
-        rng: np.random.Generator,
-        surrogate: list,
-    ) -> GaussianProcessRegressor:
-        """The surrogate for this iteration (refit or incremental update).
-
-        With ``refit_period=1`` a fresh GP is built and fully refit every
-        call (the paper's schedule).  Otherwise the previous GP persists and
-        new observations enter through ``add_observation`` (rank-1 Cholesky
-        border) until ``refit_period`` samples have accumulated, when
-        hyperparameters are re-optimized from scratch.
-        """
-        gp, n_included, n_last_refit = surrogate
-        n_obs = len(observations_y)
-        if (
-            self.refit_period > 1
-            and gp is not None
-            and n_obs - n_last_refit < self.refit_period
-        ):
-            for i in range(n_included, n_obs):
-                gp.add_observation(observations_x[i], observations_y[i])
-            surrogate[1] = n_obs
-            return gp
-        X = np.vstack(observations_x)
-        y = np.asarray(observations_y, dtype=float)
-        gp = GaussianProcessRegressor(
-            self._make_kernel(space.bounds),
-            noise=self.gp_noise,
-            optimize_hyperparameters=n_obs >= 4,
-            n_restarts=1,
-            seed=int(rng.integers(2**31 - 1)),
-        )
-        gp.fit(X, y)
-        surrogate[:] = [gp, n_obs, n_obs]
-        return gp
+            # ---- BO loop -----------------------------------------------------
+            stale = 0
+            best_cost = np.inf
+            incumbent = budget.best_satisfying()
+            if incumbent is not None:
+                best_cost = incumbent.cost_per_hour
+            while not budget.exhausted:
+                proposals = engine.propose(
+                    ctx, min(self.batch_size, budget.remaining)
+                )
+                if not proposals:
+                    budget.stopped = True
+                    break
+                n_batches += 1
+                pools = [space.pool(ctx.counts_at(i)) for i in proposals]
+                records = budget.evaluate_batch(
+                    pools, parallel=self.batch_parallel and len(pools) > 1
+                )
+                hit_budget = False
+                patience_hit = False
+                for pool, rec in zip(pools, records):
+                    if rec is None:
+                        hit_budget = True
+                        break
+                    learn(pool, rec)
+                    if rec.meets_qos and rec.cost_per_hour < best_cost - 1e-12:
+                        best_cost = rec.cost_per_hour
+                        stale = 0
+                    else:
+                        stale += 1
+                    if (
+                        self.patience is not None
+                        and np.isfinite(best_cost)
+                        and stale >= self.patience
+                    ):
+                        patience_hit = True
+                if hit_budget:
+                    break
+                if patience_hit:
+                    budget.stopped = True
+                    break
+        finally:
+            budget.metadata["n_pruned_final"] = ctx.n_pruned()
+            budget.metadata["cost_threshold"] = prune.cost_threshold
+            budget.metadata["proposal_batches"] = n_batches

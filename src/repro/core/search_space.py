@@ -10,7 +10,7 @@ simulation exactly that way.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -89,9 +89,66 @@ class SearchSpace:
             object.__setattr__(self, "_grid_unit", cached)
         return cached
 
-    def pools(self) -> list[PoolConfiguration]:
-        """All configurations as pool objects (exhaustive search)."""
-        return [self.pool(v) for v in self.grid()]
+    def iter_grid(self, block_size: int = 65536) -> Iterator[tuple[int, np.ndarray]]:
+        """Stream the lattice in ``(start_index, block)`` chunks.
+
+        Yields the same rows, in the same order, as :meth:`grid` — block
+        ``k`` holds rows ``start_index .. start_index + len(block) - 1`` of
+        the materialized grid — without ever building the full array, so
+        peak memory is bounded by ``block_size`` rows.  This is the
+        acquisition-argmax path for 5+-family spaces whose lattice
+        (``10^6+`` cells) must not be materialized; small spaces keep the
+        cached :meth:`grid` fast path.
+        """
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size!r}")
+        dims = tuple(b + 1 for b in self.bounds)
+        total = self.n_configurations
+        for start in range(0, total, block_size):
+            stop = min(start + block_size, total)
+            # Box index start+1..stop (the all-zero cell is box index 0 and
+            # is excluded from the lattice, shifting grid indices by one).
+            coords = np.unravel_index(np.arange(start + 1, stop + 1), dims)
+            yield start, np.stack(coords, axis=1).astype(np.int64)
+
+    def iter_grid_unit(
+        self, block_size: int = 65536
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Like :meth:`iter_grid`, normalized to the unit cube.
+
+        Rows equal the corresponding :meth:`grid_unit` rows bit-for-bit
+        (same normalization arithmetic, applied block-wise).
+        """
+        for start, block in self.iter_grid(block_size):
+            yield start, self.normalize(block)
+
+    def index_of(self, vector: Sequence[int]) -> int | None:
+        """Grid-row index of a lattice vector, or ``None`` if off-lattice.
+
+        Closed form (row-major ravel over the bounds box, minus the
+        excluded all-zero cell) — no grid materialization, no index dict.
+        ``None`` covers the all-zero vector, out-of-bounds counts, and
+        dimension mismatches, mirroring a dict ``.get`` miss.
+        """
+        vec = tuple(int(v) for v in vector)
+        if len(vec) != self.n_dims:
+            return None
+        idx = 0
+        for v, b in zip(vec, self.bounds):
+            if v < 0 or v > b:
+                return None
+            idx = idx * (b + 1) + v
+        return idx - 1 if idx > 0 else None
+
+    def pools(self) -> "LazyPoolSequence":
+        """All configurations as pool objects (lazy, index-addressable).
+
+        Historically this materialized one :class:`PoolConfiguration` per
+        lattice cell up front, which OOMs the convenience path on large
+        spaces; it now returns a read-only lazy sequence that builds each
+        pool on access (``len``, indexing, slicing and iteration all work).
+        """
+        return LazyPoolSequence(self)
 
     def pool(self, vector: Sequence[int]) -> PoolConfiguration:
         """Lattice vector -> :class:`PoolConfiguration`."""
@@ -141,9 +198,74 @@ class SearchSpace:
         """Hourly cost of a lattice vector."""
         return float(self.prices @ np.asarray(vector, dtype=float))
 
+    @property
+    def total_lattice_cost(self) -> float:
+        """Sum of hourly costs over every lattice cell, in closed form.
+
+        Per dimension ``i`` the count ``v_i`` sums to
+        ``b_i (b_i + 1) / 2`` over ``0..b_i`` and appears once for each of
+        the other dimensions' combinations; the excluded all-zero cell
+        contributes nothing.  Exhaustive-deployment accounting uses this
+        instead of ``(grid @ prices).sum()`` so large spaces never
+        materialize the grid just to price it.  The value agrees with the
+        grid sum only to float roundoff (different summation order, ulp
+        differences on multi-family spaces) — the bit-identity contract
+        covers sample sequences and per-record results, not this
+        accounting scalar.
+        """
+        n_box = 1
+        for b in self.bounds:
+            n_box *= b + 1
+        total = 0.0
+        for price, b in zip(self.prices, self.bounds):
+            total += price * (b * (b + 1) / 2.0) * (n_box // (b + 1))
+        return float(total)
+
+    def counts_at(self, index: int) -> tuple[int, ...]:
+        """Lattice vector at a grid-row index (inverse of :meth:`index_of`)."""
+        if not 0 <= index < self.n_configurations:
+            raise IndexError(
+                f"grid index {index} out of range for {self.n_configurations} "
+                "configurations"
+            )
+        dims = tuple(b + 1 for b in self.bounds)
+        return tuple(int(c) for c in np.unravel_index(index + 1, dims))
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         dims = ", ".join(f"{f}<= {b}" for f, b in zip(self.families, self.bounds))
         return f"SearchSpace({dims}; {self.n_configurations} configs)"
+
+
+class LazyPoolSequence(Sequence):
+    """Read-only sequence view of a space's lattice as pool objects.
+
+    Pools are built on access, so holding the sequence costs O(1) memory
+    regardless of lattice size; iteration streams the lattice in blocks
+    (see :meth:`SearchSpace.iter_grid`) instead of materializing it.
+    """
+
+    def __init__(self, space: SearchSpace):
+        self._space = space
+
+    def __len__(self) -> int:
+        return self._space.n_configurations
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        i = int(index)
+        if i < 0:
+            i += len(self)
+        return self._space.pool(self._space.counts_at(i))
+
+    def __iter__(self):
+        space = self._space
+        for _, block in space.iter_grid():
+            for row in block:
+                yield space.pool(row)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LazyPoolSequence({self._space}, n={len(self)})"
 
 
 def estimate_instance_bounds(

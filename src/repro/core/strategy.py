@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import abc
 import warnings
+from collections.abc import Sequence
 
 from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
 from repro.core.result import SearchResult
@@ -133,6 +134,58 @@ class Budget:
         self._records.append(record)
         self._seen.add(pool.counts)
         return record
+
+    def evaluate_batch(
+        self,
+        pools: Sequence[PoolConfiguration],
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> list[EvaluationRecord | None]:
+        """Evaluate a proposed batch; one entry per pool, in order.
+
+        Semantics match calling :meth:`evaluate` once per pool left to
+        right — already-seen configurations are free (even when the
+        budget is exhausted), new ones consume budget, and each new pool
+        beyond the remaining budget maps to ``None`` — except that with
+        ``parallel=True`` the simulations of the batch's new
+        configurations run concurrently on a thread pool (see
+        :meth:`ConfigurationEvaluator.evaluate_many`).  Record order,
+        sample indices and all accounting stay deterministic regardless
+        of parallelism, so batched searches replay bit-for-bit.
+        """
+        pools = list(pools)
+        # Disposition per pool, mirroring per-pool evaluate(): "free" for
+        # seen configurations (incl. duplicates earlier in this batch),
+        # "new" while budget remains, None ("over") otherwise.
+        dispositions: list[str | None] = []
+        new_counts: set[tuple[int, ...]] = set()
+        for pool in pools:
+            if pool.counts in self._seen or pool.counts in new_counts:
+                dispositions.append("free")
+            elif self.n_samples + len(new_counts) < self._max:
+                new_counts.add(pool.counts)
+                dispositions.append("new")
+            else:
+                dispositions.append(None)
+        records = iter(
+            self._evaluator.evaluate_many(
+                [p for p, d in zip(pools, dispositions) if d is not None],
+                parallel=parallel,
+                max_workers=max_workers,
+            )
+        )
+        out: list[EvaluationRecord | None] = []
+        for pool, disposition in zip(pools, dispositions):
+            if disposition is None:
+                out.append(None)
+                continue
+            record = next(records)
+            if pool.counts not in self._seen:
+                self._records.append(record)
+                self._seen.add(pool.counts)
+            out.append(record)
+        return out
 
     def window(self) -> list[EvaluationRecord]:
         """Evaluations performed by this search, in order."""

@@ -14,7 +14,12 @@ Implements everything Ribbon's BO engine needs (Sec. 4 of the paper):
   kernel gradients) and incremental rank-1 conditioning
   (:meth:`~repro.gp.regression.GaussianProcessRegressor.add_observation`);
 * acquisition functions — Expected Improvement (Ribbon's choice),
-  Probability of Improvement and UCB.
+  Probability of Improvement and UCB;
+* pluggable **proposal engines** (:mod:`repro.gp.proposals`) — the
+  sequential EI argmax of the paper's schedule and a constant-liar q-EI
+  batch proposer, both able to sweep the configuration lattice either
+  materialized (small spaces) or block-streamed (10^6+-cell spaces,
+  grid never built).
 """
 
 from repro.gp.kernels import (
@@ -29,6 +34,15 @@ from repro.gp.kernels import (
     WhiteNoise,
 )
 from repro.gp.regression import GaussianProcessRegressor
+from repro.gp.proposals import (
+    AcquisitionContext,
+    ConstantLiarQEI,
+    LatticeView,
+    ProposalEngine,
+    SequentialEI,
+    available_proposal_engines,
+    resolve_proposal_engine,
+)
 from repro.gp.acquisition import (
     expected_improvement,
     probability_of_improvement,
@@ -46,6 +60,13 @@ __all__ = [
     "ConstantScale",
     "RoundedKernel",
     "GaussianProcessRegressor",
+    "AcquisitionContext",
+    "ConstantLiarQEI",
+    "LatticeView",
+    "ProposalEngine",
+    "SequentialEI",
+    "available_proposal_engines",
+    "resolve_proposal_engine",
     "expected_improvement",
     "probability_of_improvement",
     "upper_confidence_bound",

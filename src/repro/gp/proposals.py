@@ -1,0 +1,633 @@
+"""Pluggable proposal engines for the BO acquisition layer.
+
+The optimizer's "pick the next configuration(s)" step is factored out of
+:class:`~repro.core.optimizer.RibbonOptimizer` into a small protocol so
+batch proposers and streaming acquisition maximizers plug in without
+touching the search loop:
+
+* :class:`AcquisitionContext` — the per-search state every engine reads
+  and writes: observations (normalized to the unit cube), the set of
+  already-sampled lattice cells, the persistent surrogate of the
+  ``refit_period`` schedule, the prune set, and the lattice view;
+* :class:`LatticeView` — candidate access in two regimes.  Small spaces
+  keep the materialized cached-grid fast path (one prepared kernel input
+  reused by every EI sweep — bit-identical to the pre-refactor code).
+  Large spaces (``10^6+`` cells, 5+ families) stream the lattice in
+  blocks via :meth:`SearchSpace.iter_grid`, so the acquisition argmax
+  holds at most ``block_size`` rows at a time and the full grid is never
+  materialized;
+* :class:`SequentialEI` — today's behavior: one GP update + one EI
+  argmax per proposal, with the exact masking, flat-acquisition fallback
+  and random tie-breaking of the original ``RibbonOptimizer._propose``
+  (golden-tested against the recorded search sequences);
+* :class:`ConstantLiarQEI` — a q-point batch via constant-liar fantasy
+  observations.  One surrogate update and one full (mean + std) grid
+  predict per *batch*; each proposal after the first conditions a fantasy
+  copy of the GP on the lie value through the existing rank-1 Cholesky
+  :meth:`~repro.gp.regression.GaussianProcessRegressor.add_observation`
+  and refreshes the grid *mean* (an O(M·n) pass — the O(M·n^2) std
+  predict is paid once and amortized over the q proposals).  With
+  ``q=1`` no fantasy is ever applied, so the proposal — and the RNG
+  stream — is bit-identical to :class:`SequentialEI`.
+
+Determinism contract: engines draw only from the context's generator, in
+a fixed order (surrogate seed draw on refits, one tie-break draw per
+proposal), so equal seeds give equal proposal sequences regardless of
+evaluation parallelism downstream.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.gp.acquisition import expected_improvement
+from repro.gp.kernels import Kernel
+from repro.gp.regression import GaussianProcessRegressor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
+    from repro.core.pruning import PruneSet
+    from repro.core.search_space import SearchSpace
+
+__all__ = [
+    "AcquisitionContext",
+    "ConstantLiarQEI",
+    "LatticeView",
+    "ProposalEngine",
+    "SequentialEI",
+    "available_proposal_engines",
+    "resolve_proposal_engine",
+]
+
+
+class LatticeView:
+    """Acquisition-side access to a search space's candidate lattice.
+
+    ``stream`` picks the regime: ``"never"`` forces the materialized
+    cached-grid fast path, ``"always"`` forces block streaming, and
+    ``"auto"`` (default) streams only when the lattice exceeds
+    :data:`AUTO_STREAM_CELLS` cells — small spaces keep the exact
+    pre-refactor arrays.
+    """
+
+    #: ``stream="auto"`` switches to block streaming above this many cells.
+    AUTO_STREAM_CELLS = 200_000
+    #: Default rows per streamed block (bounds acquisition peak memory).
+    DEFAULT_BLOCK_SIZE = 65_536
+
+    def __init__(
+        self,
+        space: "SearchSpace",
+        kernel: Kernel,
+        *,
+        stream: str = "auto",
+        block_size: int | None = None,
+    ):
+        if stream not in ("auto", "never", "always"):
+            raise ValueError(
+                f"stream must be 'auto', 'never' or 'always', got {stream!r}"
+            )
+        block = int(block_size) if block_size is not None else self.DEFAULT_BLOCK_SIZE
+        if block < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size!r}")
+        self.space = space
+        self.block_size = block
+        self._kernel = kernel
+        self.streaming = stream == "always" or (
+            stream == "auto" and space.n_configurations > self.AUTO_STREAM_CELLS
+        )
+        self._prepared = None
+
+    @property
+    def n_cells(self) -> int:
+        return self.space.n_configurations
+
+    # -- materialized fast path ------------------------------------------------
+    def grid(self) -> np.ndarray:
+        return self.space.grid()
+
+    def prepared(self):
+        """The kernel's theta-independent view of the full lattice, cached."""
+        if self._prepared is None:
+            self._prepared = self._kernel.precompute_input(self.space.grid_unit())
+        return self._prepared
+
+    # -- streaming path --------------------------------------------------------
+    def iter_raw_blocks(self):
+        """Yield ``(start, counts_block)`` lattice chunks.
+
+        Block rows equal the corresponding materialized-grid rows, so a
+        block-wise sweep visits exactly the cells a full-grid sweep does,
+        in the same order.  Kernel preparation is deliberately separate
+        (:meth:`prepare_block`) so callers can mask a block first and
+        skip the normalize/precompute work for fully pruned chunks.
+        """
+        return self.space.iter_grid(self.block_size)
+
+    def prepare_block(self, block: np.ndarray):
+        """Kernel-prepared unit-cube view of one raw block (bit-identical
+        to the corresponding rows of the materialized :meth:`prepared`)."""
+        return self._kernel.precompute_input(self.space.normalize(block))
+
+    def counts_at(self, index: int) -> tuple[int, ...]:
+        return self.space.counts_at(index)
+
+
+class AcquisitionContext:
+    """Per-search state shared between the optimizer loop and its engine.
+
+    Owns the observation lists (unit-cube inputs + objective values), the
+    sampled-cell index set, the persistent surrogate of the
+    ``refit_period`` schedule, and the candidate masking (sampled cells
+    plus the active prune set).  All randomness flows through ``rng``.
+    """
+
+    def __init__(
+        self,
+        space: "SearchSpace",
+        kernel: Kernel,
+        *,
+        rng: np.random.Generator,
+        make_kernel: Callable[[], Kernel],
+        prune: "PruneSet | None" = None,
+        gp_noise: float = 1e-5,
+        refit_period: int = 1,
+        stream: str = "auto",
+        block_size: int | None = None,
+    ):
+        self.space = space
+        self.rng = rng
+        self.prune = prune
+        self.gp_noise = float(gp_noise)
+        self.refit_period = int(refit_period)
+        self.lattice = LatticeView(space, kernel, stream=stream, block_size=block_size)
+        self._make_kernel = make_kernel
+        self._bounds_vec = np.asarray(space.bounds, dtype=float)
+        self.observations_x: list[np.ndarray] = []
+        self.observations_y: list[float] = []
+        self.sampled_idx: set[int] = set()
+        # Persistent surrogate for refit_period > 1:
+        # [gp, n_obs_incorporated, n_obs_at_last_full_refit].
+        self._surrogate: list = [None, 0, 0]
+
+    # -- observations ----------------------------------------------------------
+    def unit_row(self, counts) -> np.ndarray:
+        """A lattice vector normalized exactly as training inputs are."""
+        return np.asarray(counts, dtype=float) / self._bounds_vec
+
+    def add_pseudo_observation(self, counts, objective: float) -> None:
+        """Inject an estimated objective value (warm starts); not sampled."""
+        self.observations_x.append(self.unit_row(counts))
+        self.observations_y.append(float(objective))
+
+    def observe(self, counts, objective: float) -> None:
+        """Record a measured evaluation and mark its lattice cell sampled."""
+        idx = self.space.index_of(counts)
+        if idx is not None:
+            self.sampled_idx.add(idx)
+        self.observations_x.append(self.unit_row(counts))
+        self.observations_y.append(float(objective))
+
+    @property
+    def n_observations(self) -> int:
+        return len(self.observations_y)
+
+    def best_observed(self) -> float:
+        return float(np.max(self.observations_y))
+
+    # -- candidate masking -----------------------------------------------------
+    def candidate_mask(self) -> np.ndarray:
+        """Unsampled-and-unpruned mask over the materialized grid."""
+        grid = self.lattice.grid()
+        mask = np.ones(grid.shape[0], dtype=bool)
+        if self.sampled_idx:
+            mask[list(self.sampled_idx)] = False
+        if self.prune is not None:
+            mask &= ~self.prune.mask(grid)
+        return mask
+
+    def block_mask(self, start: int, block: np.ndarray) -> np.ndarray:
+        """The :meth:`candidate_mask` restricted to one streamed block."""
+        mask = np.ones(block.shape[0], dtype=bool)
+        if self.sampled_idx:
+            stop = start + block.shape[0]
+            local = [i - start for i in self.sampled_idx if start <= i < stop]
+            if local:
+                mask[local] = False
+        if self.prune is not None:
+            mask &= ~self.prune.mask(block)
+        return mask
+
+    def random_unsampled(self) -> int | None:
+        """A uniformly random candidate cell index (initial design).
+
+        The streaming regime draws in two block-bounded passes — count
+        the candidates, draw a position, find it — so peak memory stays
+        O(block_size).  ``Generator.choice(k)`` and ``choice(array)``
+        consume the generator identically (``array[choice(len(array))]``
+        == ``choice(array)``), so both regimes draw the same cell; the
+        streamed-vs-materialized equivalence tests pin that.
+        """
+        if not self.lattice.streaming:
+            idx = np.flatnonzero(self.candidate_mask())
+            if idx.size == 0:
+                return None
+            return int(self.rng.choice(idx))
+        blocks = self.space.iter_grid(self.lattice.block_size)
+        n_candidates = sum(
+            int(self.block_mask(start, block).sum()) for start, block in blocks
+        )
+        if n_candidates == 0:
+            return None
+        position = int(self.rng.choice(n_candidates))
+        passed = 0
+        for start, block in self.space.iter_grid(self.lattice.block_size):
+            local = np.flatnonzero(self.block_mask(start, block))
+            if position < passed + local.size:
+                return int(start + local[position - passed])
+            passed += local.size
+        raise AssertionError("candidate count changed mid-draw")  # pragma: no cover
+
+    def n_pruned(self) -> int:
+        """Currently pruned cell count (streaming-safe metadata)."""
+        if self.prune is None:
+            return 0
+        if not self.lattice.streaming:
+            return self.prune.n_pruned(self.lattice.grid())
+        return sum(
+            int(self.prune.mask(block).sum())
+            for _, block in self.space.iter_grid(self.lattice.block_size)
+        )
+
+    def counts_at(self, index: int) -> tuple[int, ...]:
+        return self.space.counts_at(index)
+
+    # -- surrogate lifecycle ---------------------------------------------------
+    def surrogate_gp(self) -> GaussianProcessRegressor:
+        """The surrogate for this iteration (refit or incremental update).
+
+        With ``refit_period=1`` a fresh GP is built and fully refit every
+        call (the paper's schedule).  Otherwise the previous GP persists
+        and new observations enter through ``add_observation`` (rank-1
+        Cholesky border) until ``refit_period`` samples have accumulated,
+        when hyperparameters are re-optimized from scratch.
+        """
+        gp, n_included, n_last_refit = self._surrogate
+        n_obs = len(self.observations_y)
+        if (
+            self.refit_period > 1
+            and gp is not None
+            and n_obs - n_last_refit < self.refit_period
+        ):
+            for i in range(n_included, n_obs):
+                gp.add_observation(self.observations_x[i], self.observations_y[i])
+            self._surrogate[1] = n_obs
+            return gp
+        X = np.vstack(self.observations_x)
+        y = np.asarray(self.observations_y, dtype=float)
+        gp = GaussianProcessRegressor(
+            self._make_kernel(),
+            noise=self.gp_noise,
+            optimize_hyperparameters=n_obs >= 4,
+            n_restarts=1,
+            seed=int(self.rng.integers(2**31 - 1)),
+        )
+        gp.fit(X, y)
+        self._surrogate[:] = [gp, n_obs, n_obs]
+        return gp
+
+
+def _masked_argmax(
+    ei: np.ndarray,
+    std: np.ndarray,
+    candidates: np.ndarray,
+    rng: np.random.Generator,
+) -> int:
+    """EI argmax over candidates with the optimizer's exact tie rules."""
+    ei = np.where(candidates, ei, -np.inf)
+    best = float(ei.max())
+    if not np.isfinite(best) or best <= 0.0:
+        # Flat acquisition: fall back to the highest-variance candidate,
+        # breaking ties randomly (pure exploration).
+        score = np.where(candidates, std, -np.inf)
+        top = np.flatnonzero(score >= score.max() - 1e-15)
+        return int(rng.choice(top))
+    top = np.flatnonzero(ei >= best * (1.0 - 1e-9))
+    return int(rng.choice(top))
+
+
+class _TieTracker:
+    """Running max + tie set over a streamed score sweep.
+
+    Collects ``(index, value)`` pairs whose value is within the tie
+    tolerance of the running maximum; :meth:`ties` re-filters against the
+    final maximum, so the result equals ``np.flatnonzero(score >=
+    threshold(max))`` over the concatenated sweep — same values, same
+    ascending index order as the materialized argmax.
+    """
+
+    def __init__(
+        self,
+        *,
+        rel: float | None = None,
+        abs_: float | None = None,
+        positive_only: bool = False,
+    ):
+        self._rel = rel
+        self._abs = abs_
+        # Drop non-positive values entirely: the EI selection rule only
+        # consults ties when the maximum is > 0 (otherwise the std
+        # fallback runs), so ties at exactly 0.0 are dead weight — and on
+        # a flat acquisition they would otherwise accumulate one entry
+        # per lattice cell, breaking the block-bounded memory contract.
+        self._positive_only = positive_only
+        self.best = -np.inf
+        self._idx: list[np.ndarray] = []
+        self._val: list[np.ndarray] = []
+        self._stored = 0
+
+    def _threshold(self) -> float:
+        if not np.isfinite(self.best):
+            return np.inf
+        if self._rel is not None:
+            return self.best * (1.0 - self._rel)
+        return self.best - self._abs
+
+    def update(self, start: int, values: np.ndarray) -> None:
+        m = float(values.max()) if values.size else -np.inf
+        if m > self.best:
+            self.best = m
+        keep = values >= self._threshold()
+        if self._positive_only:
+            keep &= values > 0.0
+        if keep.any():
+            local = np.flatnonzero(keep)
+            self._idx.append(start + local)
+            self._val.append(values[local])
+            self._stored += local.size
+            if self._stored > 4 * max(values.size, 1024):
+                self._compact()
+
+    def _compact(self) -> None:
+        idx = np.concatenate(self._idx)
+        val = np.concatenate(self._val)
+        keep = val >= self._threshold()
+        self._idx, self._val = [idx[keep]], [val[keep]]
+        self._stored = int(keep.sum())
+
+    def ties(self) -> np.ndarray:
+        """Indices tied with the final maximum, ascending."""
+        if not self._idx:
+            return np.empty(0, dtype=np.int64)
+        idx = np.concatenate(self._idx)
+        val = np.concatenate(self._val)
+        return idx[val >= self._threshold()]
+
+
+def _stream_argmax(
+    ctx: AcquisitionContext,
+    gp: GaussianProcessRegressor,
+    best_observed: float,
+    exclude: set[int] | None = None,
+    mean_gp: GaussianProcessRegressor | None = None,
+) -> int | None:
+    """One block-streamed EI argmax pass (grid never materialized).
+
+    Returns the selected cell index, or ``None`` when no candidate cell
+    remains.  Tie handling mirrors :func:`_masked_argmax`: EI ties within
+    ``1e-9`` relative of the maximum, falling back to the
+    highest-variance candidate (``1e-15`` absolute ties) when the
+    acquisition is flat — with one ``rng.choice`` draw either way.
+
+    ``mean_gp`` (the constant-liar fantasy surrogate) overrides the
+    posterior *mean* only, keeping ``gp``'s std — the same acquisition
+    definition the materialized batch path uses, so the two regimes pick
+    the same points.
+    """
+    ei_ties = _TieTracker(rel=1e-9, positive_only=True)
+    std_ties = _TieTracker(abs_=1e-15)
+    any_candidates = False
+    for start, block in ctx.lattice.iter_raw_blocks():
+        mask = ctx.block_mask(start, block)
+        if exclude:
+            stop = start + block.shape[0]
+            local = [i - start for i in exclude if start <= i < stop]
+            if local:
+                mask[local] = False
+        if not mask.any():
+            # Masked first so fully pruned/sampled blocks never pay the
+            # normalize + kernel-precompute + predict work.
+            continue
+        any_candidates = True
+        prepared = ctx.lattice.prepare_block(block)
+        mean, std = gp.predict(prepared, return_std=True)
+        if mean_gp is not None:
+            mean = mean_gp.predict(prepared)
+        ei = expected_improvement(mean, std, best_observed=best_observed)
+        ei_ties.update(start, np.where(mask, ei, -np.inf))
+        std_ties.update(start, np.where(mask, std, -np.inf))
+    if not any_candidates:
+        return None
+    best = ei_ties.best
+    if not np.isfinite(best) or best <= 0.0:
+        return int(ctx.rng.choice(std_ties.ties()))
+    return int(ctx.rng.choice(ei_ties.ties()))
+
+
+class ProposalEngine(abc.ABC):
+    """Strategy for turning the current surrogate into proposal(s)."""
+
+    #: Registry/reporting name.
+    name: str = "proposal-engine"
+    #: Whether :meth:`propose` can return more than one point per call.
+    supports_batch: bool = False
+
+    @abc.abstractmethod
+    def propose(self, ctx: AcquisitionContext, q: int = 1) -> list[int]:
+        """Up to ``q`` unsampled lattice cell indices to evaluate next.
+
+        An empty list means no candidate cells remain (the search stops).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SequentialEI(ProposalEngine):
+    """One EI-argmax proposal per GP update — the paper's schedule.
+
+    Bit-identical to the pre-refactor ``RibbonOptimizer._propose``: same
+    surrogate build/update order, same masking, same flat-acquisition
+    fallback, same tie tolerance, same RNG draws.  ``q`` is ignored
+    (always a single proposal).
+    """
+
+    name = "sequential-ei"
+    supports_batch = False
+
+    def propose(self, ctx: AcquisitionContext, q: int = 1) -> list[int]:
+        if ctx.lattice.streaming:
+            gp = ctx.surrogate_gp()
+            idx = _stream_argmax(ctx, gp, ctx.best_observed())
+            return [] if idx is None else [idx]
+        candidates = ctx.candidate_mask()
+        if not candidates.any():
+            return []
+        gp = ctx.surrogate_gp()
+        mean, std = gp.predict(ctx.lattice.prepared(), return_std=True)
+        ei = expected_improvement(mean, std, best_observed=ctx.best_observed())
+        return [_masked_argmax(ei, std, candidates, ctx.rng)]
+
+
+class ConstantLiarQEI(ProposalEngine):
+    """q-point batch EI via constant-liar fantasy observations.
+
+    The surrogate is updated once per batch and the full (mean + std)
+    grid predict is paid once; each subsequent proposal conditions a
+    *fantasy copy* of the GP on a constant lie value at the previous pick
+    through the rank-1 Cholesky ``add_observation`` and refreshes the
+    grid mean (O(M·n) per fantasy, against the O(M·n^2) std predict paid
+    once).  The real surrogate never sees a fantasy — after the batch is
+    evaluated, measured objectives enter through the normal schedule.
+
+    ``lie`` picks the fantasy value from the current observations:
+    ``"min"`` (default, the pessimistic CL-min — steers later picks away
+    from the fantasized region without inflating the incumbent),
+    ``"mean"`` or ``"max"``.
+
+    With ``q=1`` no fantasy machinery runs and proposals are
+    bit-identical to :class:`SequentialEI` (the ``batch_size=1``
+    contract).  On streamed lattices each proposal runs its own
+    block-wise argmax pass with the *same* acquisition definition —
+    fantasy mean over the pre-batch std — so the streamed and
+    materialized regimes propose the same points, with peak memory still
+    bounded by the block size (the streamed regime trades the
+    once-per-batch std amortization for that memory bound).
+    """
+
+    name = "constant-liar-qei"
+    supports_batch = True
+
+    LIES = ("min", "mean", "max")
+
+    def __init__(self, lie: str = "min"):
+        if lie not in self.LIES:
+            raise ValueError(
+                f"lie must be one of {', '.join(map(repr, self.LIES))}, got {lie!r}"
+            )
+        self.lie = lie
+
+    def _lie_value(self, ctx: AcquisitionContext) -> float:
+        y = np.asarray(ctx.observations_y, dtype=float)
+        if self.lie == "min":
+            return float(y.min())
+        if self.lie == "max":
+            return float(y.max())
+        return float(y.mean())
+
+    def propose(self, ctx: AcquisitionContext, q: int = 1) -> list[int]:
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q!r}")
+        if ctx.lattice.streaming:
+            return self._propose_streaming(ctx, q)
+        candidates = ctx.candidate_mask()
+        if not candidates.any():
+            return []
+        gp = ctx.surrogate_gp()
+        mean, std = gp.predict(ctx.lattice.prepared(), return_std=True)
+        best_observed = ctx.best_observed()
+        selected: list[int] = []
+        fantasy = None
+        for j in range(q):
+            if not candidates.any():
+                break
+            ei = expected_improvement(mean, std, best_observed=best_observed)
+            idx = _masked_argmax(ei, std, candidates, ctx.rng)
+            selected.append(idx)
+            candidates[idx] = False
+            if j + 1 < q:
+                if fantasy is None:
+                    fantasy = copy.deepcopy(gp)
+                fantasy.add_observation(
+                    ctx.unit_row(ctx.counts_at(idx)), self._lie_value(ctx)
+                )
+                mean = fantasy.predict(ctx.lattice.prepared())
+        return selected
+
+    def _propose_streaming(self, ctx: AcquisitionContext, q: int) -> list[int]:
+        gp = ctx.surrogate_gp()
+        best_observed = ctx.best_observed()
+        selected: list[int] = []
+        exclude: set[int] = set()
+        fantasy = None
+        for j in range(q):
+            idx = _stream_argmax(ctx, gp, best_observed, exclude, mean_gp=fantasy)
+            if idx is None:
+                break
+            selected.append(idx)
+            exclude.add(idx)
+            if j + 1 < q:
+                if fantasy is None:
+                    fantasy = copy.deepcopy(gp)
+                fantasy.add_observation(
+                    ctx.unit_row(ctx.counts_at(idx)), self._lie_value(ctx)
+                )
+        return selected
+
+
+#: Canonical engine names (plus aliases) -> factory.
+_ENGINES: dict[str, Callable[[], ProposalEngine]] = {
+    "sequential": SequentialEI,
+    "sequential-ei": SequentialEI,
+    "ei": SequentialEI,
+    "constant-liar": ConstantLiarQEI,
+    "constant-liar-qei": ConstantLiarQEI,
+    "qei": ConstantLiarQEI,
+}
+
+
+def available_proposal_engines() -> tuple[str, ...]:
+    """Recognized proposal-engine names (including aliases), sorted."""
+    return tuple(sorted(_ENGINES))
+
+
+def resolve_proposal_engine(
+    spec: "str | ProposalEngine | None", batch_size: int = 1
+) -> ProposalEngine:
+    """Resolve a name / instance / None into a :class:`ProposalEngine`.
+
+    ``None`` picks the default for the batch size: :class:`SequentialEI`
+    for ``batch_size=1`` (the paper's schedule), :class:`ConstantLiarQEI`
+    otherwise.  A batch size above 1 with an engine that cannot batch is
+    rejected here, before any search runs.
+    """
+    if spec is None:
+        engine: ProposalEngine = (
+            SequentialEI() if batch_size <= 1 else ConstantLiarQEI()
+        )
+    elif isinstance(spec, ProposalEngine):
+        engine = spec
+    elif isinstance(spec, str):
+        key = spec.strip().lower().replace("_", "-").replace(" ", "-")
+        factory = _ENGINES.get(key)
+        if factory is None:
+            raise ValueError(
+                f"unknown proposal engine {spec!r}; available: "
+                f"{', '.join(available_proposal_engines())}"
+            )
+        engine = factory()
+    else:
+        raise TypeError(
+            "proposal_engine must be a name, a ProposalEngine instance or "
+            f"None, got {type(spec).__name__}"
+        )
+    if batch_size > 1 and not engine.supports_batch:
+        raise ValueError(
+            f"proposal engine {engine.name!r} proposes one point at a time; "
+            f"batch_size={batch_size} needs a batching engine such as "
+            "'constant-liar-qei'"
+        )
+    return engine

@@ -31,6 +31,18 @@ class TestParser:
         args = build_parser().parse_args(["search", "MT-WND", "--method", "bo"])
         assert args.method == "bo"
 
+    def test_search_batch_args(self):
+        args = build_parser().parse_args(
+            ["search", "MT-WND", "--batch-size", "4", "--proposal-engine", "qei"]
+        )
+        assert args.batch_size == 4
+        assert args.proposal_engine == "qei"
+
+    def test_search_batch_defaults_off(self):
+        args = build_parser().parse_args(["search", "MT-WND"])
+        assert args.batch_size is None
+        assert args.proposal_engine is None
+
 
 class TestCommands:
     def test_fig4_prints_table(self, capsys):
@@ -76,3 +88,62 @@ class TestCommands:
         out = capsys.readouterr().out
         for name in ("ribbon", "hill-climb", "random", "rsm", "exhaustive"):
             assert name in out
+
+    def test_strategies_surfaces_constructor_options(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "batch_size=1" in out
+        assert "proposal_engine=None" in out
+        assert "max_samples" in out
+
+    def test_search_with_batch_size(self, capsys):
+        rc = main(
+            [
+                "search", "MT-WND",
+                "--queries", "1500",
+                "--samples", "10",
+                "--batch-size", "4",
+            ]
+        )
+        assert rc == 0
+        assert "RIBBON" in capsys.readouterr().out
+
+    def test_batch_size_on_unsupporting_strategy_is_clean_error(self, capsys):
+        rc = main(
+            ["search", "MT-WND", "--method", "random", "--batch-size", "4"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--batch-size" in err and "random" in err
+
+    def test_batch_size_one_is_noop_on_any_strategy(self, capsys):
+        # --batch-size 1 is the sequential default; strategies without
+        # the knob ignore it (same semantics as the scenario budget).
+        rc = main(
+            [
+                "search", "MT-WND",
+                "--method", "random",
+                "--queries", "800",
+                "--samples", "5",
+                "--batch-size", "1",
+            ]
+        )
+        assert rc == 0
+        assert "RANDOM" in capsys.readouterr().out
+
+    def test_unknown_proposal_engine_is_clean_error(self, capsys):
+        rc = main(["search", "MT-WND", "--proposal-engine", "thompson"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown proposal engine" in err
+
+    def test_nonbatching_engine_with_batch_size_is_clean_error(self, capsys):
+        rc = main(
+            [
+                "search", "MT-WND",
+                "--proposal-engine", "sequential-ei",
+                "--batch-size", "4",
+            ]
+        )
+        assert rc == 2
+        assert "batch" in capsys.readouterr().err

@@ -1,0 +1,555 @@
+"""The proposal-engine refactor's contracts.
+
+Four layers, one exactness story:
+
+* the streamed lattice (``iter_grid`` / ``iter_grid_unit`` / ``index_of``)
+  is bit-identical, row for row, to the materialized grid;
+* ``ConstantLiarQEI`` at ``batch_size=1`` replays the ``SequentialEI``
+  sample sequences bit-for-bit, and the streamed block-wise argmax
+  reproduces the materialized argmax on small spaces;
+* batch evaluation (``Budget.evaluate_batch`` over
+  ``ConfigurationEvaluator.evaluate_many``) keeps deterministic record
+  order and accounting whether simulations run serially or on threads;
+* a 5-family, 10^6+-cell space completes a Ribbon search without ever
+  materializing its grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.objective import RibbonObjective
+from repro.core.optimizer import RibbonOptimizer
+from repro.core.search_space import LazyPoolSequence, SearchSpace
+from repro.core.strategy import Budget
+from repro.gp.proposals import (
+    ConstantLiarQEI,
+    SequentialEI,
+    available_proposal_engines,
+    resolve_proposal_engine,
+)
+from repro.models.base import LatencyProfile, ModelCategory, ModelProfile
+from repro.simulator.engine import DispatchCounters
+from repro.simulator.pool import PoolConfiguration
+from repro.simulator.result_cache import SimulationResultCache
+from tests.conftest import make_toy_model, make_toy_trace
+
+FIVE_FAMILIES = ("g4dn", "t3", "c5", "m5", "r5")
+
+
+def make_toy_model5() -> ModelProfile:
+    """A five-family toy model (for the large-lattice streaming tests)."""
+    return ModelProfile(
+        name="toy5",
+        category=ModelCategory.RECOMMENDATION,
+        description="synthetic 5-family test model",
+        qos_target_ms=20.0,
+        profiles={
+            "g4dn": LatencyProfile(2.0, 0.05),
+            "t3": LatencyProfile(1.0, 0.15),
+            "c5": LatencyProfile(0.8, 0.10),
+            "m5": LatencyProfile(0.9, 0.12),
+            "r5": LatencyProfile(0.7, 0.14),
+        },
+        arrival_rate_qps=400.0,
+        batch_median=30.0,
+        batch_sigma=0.8,
+        max_batch=256,
+        homogeneous_family="g4dn",
+        diverse_pool=FIVE_FAMILIES,
+        noise_sigma=0.0,
+    )
+
+
+def toy_search_ctx():
+    model = make_toy_model(arrival_rate_qps=400.0)
+    trace = make_toy_trace(model, n=600, seed=5)
+    space = SearchSpace(("g4dn", "t3"), (4, 6))
+    objective = RibbonObjective(space, qos_rate_target=0.95)
+    return model, trace, space, objective
+
+
+def fresh_evaluator(model, trace, objective):
+    # Result memo disabled so repeat runs genuinely re-simulate.
+    return ConfigurationEvaluator(
+        model, trace, objective, result_cache=SimulationResultCache(maxsize=0)
+    )
+
+
+def run_ribbon(seed: int, **kwargs):
+    model, trace, space, objective = toy_search_ctx()
+    evaluator = fresh_evaluator(model, trace, objective)
+    return RibbonOptimizer(max_samples=25, seed=seed, **kwargs).search(evaluator)
+
+
+def sequence(result):
+    return [r.pool.counts for r in result.history]
+
+
+# ---------------------------------------------------------------------------
+# Streamed lattice primitives
+# ---------------------------------------------------------------------------
+class TestStreamedLattice:
+    @pytest.mark.parametrize("bounds", [(4, 6), (3,), (2, 3, 4)])
+    @pytest.mark.parametrize("block_size", [1, 7, 64, 10_000])
+    def test_iter_grid_matches_grid(self, bounds, block_size):
+        space = SearchSpace(("g4dn", "t3", "c5")[: len(bounds)], bounds)
+        blocks = list(space.iter_grid(block_size))
+        assert blocks[0][0] == 0
+        starts = [s for s, _ in blocks]
+        sizes = [len(b) for _, b in blocks]
+        assert starts == [sum(sizes[:i]) for i in range(len(sizes))]
+        streamed = np.vstack([b for _, b in blocks])
+        np.testing.assert_array_equal(streamed, space.grid())
+        assert streamed.dtype == space.grid().dtype
+
+    def test_iter_grid_unit_matches_grid_unit(self):
+        space = SearchSpace(("g4dn", "t3"), (4, 6))
+        streamed = np.vstack([b for _, b in space.iter_grid_unit(9)])
+        np.testing.assert_array_equal(streamed, space.grid_unit())
+
+    def test_iter_grid_rejects_bad_block(self):
+        space = SearchSpace(("g4dn",), (4,))
+        with pytest.raises(ValueError, match="block_size"):
+            next(space.iter_grid(0))
+
+    def test_index_of_roundtrip(self):
+        space = SearchSpace(("g4dn", "t3"), (4, 6))
+        grid = space.grid()
+        for i, row in enumerate(grid):
+            assert space.index_of(row) == i
+            assert space.counts_at(i) == tuple(int(v) for v in row)
+
+    def test_index_of_off_lattice(self):
+        space = SearchSpace(("g4dn", "t3"), (4, 6))
+        assert space.index_of((0, 0)) is None  # the excluded empty cell
+        assert space.index_of((5, 0)) is None  # out of bounds
+        assert space.index_of((-1, 2)) is None
+        assert space.index_of((1,)) is None  # dimension mismatch
+
+    def test_counts_at_out_of_range(self):
+        space = SearchSpace(("g4dn",), (4,))
+        with pytest.raises(IndexError):
+            space.counts_at(space.n_configurations)
+
+    def test_total_lattice_cost_matches_grid_sum(self):
+        space = SearchSpace(("g4dn", "t3", "c5"), (3, 4, 2))
+        expected = float((space.grid() @ space.prices).sum())
+        assert space.total_lattice_cost == pytest.approx(expected, rel=1e-12)
+
+
+class TestLazyPools:
+    def test_sequence_protocol(self):
+        space = SearchSpace(("g4dn", "t3"), (4, 6))
+        pools = space.pools()
+        assert isinstance(pools, LazyPoolSequence)
+        assert len(pools) == space.n_configurations
+        assert pools[0].counts == tuple(space.grid()[0])
+        assert pools[-1].counts == tuple(space.grid()[-1])
+        assert [p.counts for p in pools[:3]] == [
+            tuple(v) for v in space.grid()[:3]
+        ]
+
+    def test_iteration_matches_grid(self):
+        space = SearchSpace(("g4dn", "t3"), (2, 3))
+        assert [p.counts for p in space.pools()] == [
+            tuple(int(v) for v in row) for row in space.grid()
+        ]
+
+    def test_access_does_not_materialize_grid(self):
+        space = SearchSpace(("g4dn", "t3"), (4, 6))
+        pools = space.pools()
+        _ = len(pools), pools[5], pools[-2]
+        assert "_grid" not in space.__dict__
+
+
+# ---------------------------------------------------------------------------
+# Engine resolution
+# ---------------------------------------------------------------------------
+class TestEngineResolution:
+    def test_default_by_batch_size(self):
+        assert isinstance(resolve_proposal_engine(None, 1), SequentialEI)
+        assert isinstance(resolve_proposal_engine(None, 4), ConstantLiarQEI)
+
+    def test_names_and_aliases(self):
+        assert isinstance(resolve_proposal_engine("sequential-ei"), SequentialEI)
+        assert isinstance(resolve_proposal_engine("EI"), SequentialEI)
+        assert isinstance(resolve_proposal_engine("qei", 4), ConstantLiarQEI)
+        assert isinstance(
+            resolve_proposal_engine("constant_liar", 2), ConstantLiarQEI
+        )
+
+    def test_instances_pass_through(self):
+        engine = ConstantLiarQEI(lie="mean")
+        assert resolve_proposal_engine(engine, 4) is engine
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="unknown proposal engine"):
+            resolve_proposal_engine("thompson")
+        assert "qei" in available_proposal_engines()
+
+    def test_sequential_cannot_batch(self):
+        with pytest.raises(ValueError, match="batch"):
+            resolve_proposal_engine("sequential-ei", 4)
+        with pytest.raises(ValueError, match="batch"):
+            RibbonOptimizer(batch_size=3, proposal_engine="sequential-ei")
+
+    def test_bad_lie_rejected(self):
+        with pytest.raises(ValueError, match="lie"):
+            ConstantLiarQEI(lie="median")
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            RibbonOptimizer(batch_size=0)
+
+    def test_stream_knobs_fail_fast_at_construction(self):
+        with pytest.raises(ValueError, match="stream"):
+            RibbonOptimizer(stream="sometimes")
+        with pytest.raises(ValueError, match="stream_block_size"):
+            RibbonOptimizer(stream_block_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: qEI at q=1 and streamed argmax vs materialized
+# ---------------------------------------------------------------------------
+class TestBatchSequentialEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_qei_at_batch_one_is_bit_identical(self, seed):
+        baseline = run_ribbon(seed)
+        qei = run_ribbon(seed, proposal_engine="constant-liar-qei", batch_size=1)
+        assert sequence(baseline) == sequence(qei)
+        assert baseline.best.pool.counts == qei.best.pool.counts
+        assert baseline.best.qos_rate == qei.best.qos_rate
+        assert qei.metadata["proposal_engine"] == "constant-liar-qei"
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_streamed_argmax_matches_materialized(self, seed):
+        materialized = run_ribbon(seed, stream="never")
+        streamed = run_ribbon(seed, stream="always", stream_block_size=7)
+        assert sequence(materialized) == sequence(streamed)
+        assert streamed.metadata["acquisition_streamed"] is True
+        assert materialized.metadata["acquisition_streamed"] is False
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_streamed_qei_batch_matches_small_blocks(self, seed):
+        """Streamed q-EI is deterministic across block sizes."""
+        a = run_ribbon(
+            seed, batch_size=3, stream="always", stream_block_size=5, patience=None
+        )
+        b = run_ribbon(
+            seed, batch_size=3, stream="always", stream_block_size=50, patience=None
+        )
+        assert sequence(a) == sequence(b)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_streamed_qei_batch_matches_materialized(self, seed):
+        """Both regimes share one acquisition definition (fantasy mean
+        over the pre-batch std), so `stream` changes memory, not the
+        proposals — at q>1 too."""
+        materialized = run_ribbon(seed, batch_size=3, stream="never", patience=None)
+        streamed = run_ribbon(
+            seed, batch_size=3, stream="always", stream_block_size=7, patience=None
+        )
+        assert sequence(materialized) == sequence(streamed)
+
+    def test_small_space_default_is_materialized(self):
+        res = run_ribbon(0)
+        assert res.metadata["acquisition_streamed"] is False
+        assert res.metadata["proposal_engine"] == "sequential-ei"
+        assert res.metadata["proposal_batches"] > 0
+
+
+class TestTieTrackerMemory:
+    def test_flat_acquisition_stores_no_dead_ei_ties(self):
+        """All-zero EI (the std-fallback case) must not accumulate one
+        tie entry per lattice cell — the selection rule never consults
+        EI ties when the maximum is <= 0."""
+        from repro.gp.proposals import _TieTracker
+
+        tracker = _TieTracker(rel=1e-9, positive_only=True)
+        for start in range(0, 10_000, 1000):
+            tracker.update(start, np.zeros(1000))
+        assert tracker.best == 0.0
+        assert tracker._stored == 0
+        assert tracker.ties().size == 0
+
+    def test_positive_ties_still_collected(self):
+        from repro.gp.proposals import _TieTracker
+
+        tracker = _TieTracker(rel=1e-9, positive_only=True)
+        tracker.update(0, np.array([0.0, 0.5, 0.5, 0.2]))
+        tracker.update(4, np.array([0.5, 0.0]))
+        np.testing.assert_array_equal(tracker.ties(), [1, 2, 4])
+
+
+class TestBatchedSearch:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_batch_parallel_matches_serial(self, seed):
+        serial = run_ribbon(seed, batch_size=4, batch_parallel=False, patience=None)
+        threaded = run_ribbon(seed, batch_size=4, batch_parallel=True, patience=None)
+        assert sequence(serial) == sequence(threaded)
+        assert [r.objective for r in serial.history] == [
+            r.objective for r in threaded.history
+        ]
+
+    def test_batch_respects_budget_and_no_resampling(self):
+        res = run_ribbon(1, batch_size=4, patience=None)
+        counts = sequence(res)
+        assert len(counts) == len(set(counts))
+        assert len(counts) <= 25
+
+    def test_batch_amortizes_surrogate_updates(self, monkeypatch):
+        from repro.gp.regression import GaussianProcessRegressor
+
+        fits: list[int] = []
+        orig = GaussianProcessRegressor.fit
+
+        def counting_fit(gp, X, y):
+            fits.append(len(X))
+            return orig(gp, X, y)
+
+        monkeypatch.setattr(GaussianProcessRegressor, "fit", counting_fit)
+        run_ribbon(0, patience=None, use_pruning=False)
+        sequential_fits = len(fits)
+        fits.clear()
+        run_ribbon(0, batch_size=4, patience=None, use_pruning=False)
+        batched_fits = len(fits)
+        # One surrogate build per batch instead of one per sample.
+        assert batched_fits <= (sequential_fits + 3) // 4 + 1
+
+    def test_metadata_present_when_search_ends_in_initial_design(self):
+        model = make_toy_model(arrival_rate_qps=400.0)
+        trace = make_toy_trace(model, n=200, seed=5)
+        space = SearchSpace(("g4dn",), (1,))  # one lattice cell
+        objective = RibbonObjective(space, qos_rate_target=0.95)
+        evaluator = fresh_evaluator(model, trace, objective)
+        res = RibbonOptimizer(max_samples=10, seed=0).search(evaluator)
+        assert len(res.history) == 1  # candidates ran out before the BO loop
+        assert res.metadata["proposal_engine"] == "sequential-ei"
+        assert res.metadata["proposal_batches"] == 0
+        assert res.metadata["acquisition_streamed"] is False
+        assert "n_pruned_final" in res.metadata
+        assert "cost_threshold" in res.metadata
+
+    def test_batch_metadata(self):
+        res = run_ribbon(0, batch_size=4, patience=None)
+        assert res.metadata["proposal_engine"] == "constant-liar-qei"
+        assert res.metadata["proposal_batches"] >= 1
+        # 25 samples, 3 initial, 4 per batch -> at most ceil(22/4)+1 batches.
+        assert res.metadata["proposal_batches"] <= 7
+
+
+# ---------------------------------------------------------------------------
+# Batch evaluation plumbing
+# ---------------------------------------------------------------------------
+class TestEvaluateBatch:
+    def make_budget(self, max_samples=5):
+        model, trace, space, objective = toy_search_ctx()
+        evaluator = fresh_evaluator(model, trace, objective)
+        return space, evaluator, Budget(evaluator, max_samples)
+
+    def test_records_in_order_and_budget_cut(self):
+        space, evaluator, budget = self.make_budget(max_samples=3)
+        pools = [space.pool(v) for v in [(1, 0), (0, 1), (1, 1), (2, 0), (2, 2)]]
+        records = budget.evaluate_batch(pools)
+        assert [r.pool.counts for r in records[:3]] == [
+            (1, 0), (0, 1), (1, 1),
+        ]
+        assert records[3] is None and records[4] is None
+        assert budget.exhausted
+        assert [r.pool.counts for r in budget.window()] == [(1, 0), (0, 1), (1, 1)]
+
+    def test_seen_pools_are_free(self):
+        space, evaluator, budget = self.make_budget(max_samples=2)
+        first = budget.evaluate(space.pool((1, 1)))
+        records = budget.evaluate_batch(
+            [space.pool((1, 1)), space.pool((2, 0)), space.pool((1, 1))]
+        )
+        assert records[0] is first and records[2] is first
+        assert budget.n_samples == 2
+
+    def test_seen_pools_free_even_past_budget_cut(self):
+        # Matches per-pool evaluate(): a seen pool is free on an
+        # exhausted budget, wherever it sits in the batch.
+        space, evaluator, budget = self.make_budget(max_samples=2)
+        seen = budget.evaluate(space.pool((1, 1)))
+        records = budget.evaluate_batch(
+            [
+                space.pool((2, 0)),  # consumes the last budget slot
+                space.pool((0, 2)),  # over budget -> None
+                space.pool((1, 1)),  # seen -> still free
+            ]
+        )
+        assert records[0] is not None
+        assert records[1] is None
+        assert records[2] is seen
+        assert budget.n_samples == 2
+
+    def test_duplicates_within_batch_consume_once(self):
+        space, evaluator, budget = self.make_budget(max_samples=4)
+        records = budget.evaluate_batch(
+            [space.pool((1, 0)), space.pool((1, 0)), space.pool((0, 2))]
+        )
+        assert budget.n_samples == 2
+        assert records[0] is records[1]
+
+    def test_parallel_matches_serial_bitwise(self):
+        model, trace, space, objective = toy_search_ctx()
+        pools = [space.pool(v) for v in [(1, 0), (0, 3), (2, 1), (3, 2), (4, 6)]]
+        ev_a = fresh_evaluator(model, trace, objective)
+        ev_b = fresh_evaluator(model, trace, objective)
+        serial = ev_a.evaluate_many(pools, parallel=False)
+        threaded = ev_b.evaluate_many(pools, parallel=True, max_workers=3)
+        for a, b in zip(serial, threaded):
+            assert a.pool.counts == b.pool.counts
+            assert a.qos_rate == b.qos_rate
+            assert a.objective == b.objective
+            assert a.sample_index == b.sample_index
+        assert ev_a.exploration_cost_dollars == ev_b.exploration_cost_dollars
+        assert ev_a.n_violating_evaluations == ev_b.n_violating_evaluations
+
+    def test_parallel_counters_aggregate(self):
+        model, trace, space, objective = toy_search_ctx()
+        counters = DispatchCounters()
+        evaluator = ConfigurationEvaluator(
+            model,
+            trace,
+            objective,
+            result_cache=SimulationResultCache(maxsize=0),
+            dispatch_counters=counters,
+        )
+        pools = [space.pool(v) for v in [(1, 0), (0, 3), (2, 1), (3, 2)]]
+        evaluator.evaluate_many(pools, parallel=True)
+        counts = counters.snapshot()
+        dispatched = counts["linear"] + counts["heap"] + counts["vector"]
+        assert dispatched == len(pools)
+
+    def test_rejects_foreign_families_upfront(self):
+        space, evaluator, budget = self.make_budget()
+        alien = PoolConfiguration(("g4dn", "c5"), (1, 1))
+        with pytest.raises(ValueError, match="families"):
+            evaluator.evaluate_many([alien])
+
+
+# ---------------------------------------------------------------------------
+# Large lattices: 10^6+ cells, grid never materialized
+# ---------------------------------------------------------------------------
+class TestLargeLatticeStreaming:
+    def test_million_cell_search_never_materializes_grid(self):
+        model = make_toy_model5()
+        trace = make_toy_trace(model, n=250, seed=3)
+        space = SearchSpace(FIVE_FAMILIES, (15, 15, 15, 15, 15))
+        assert space.n_configurations == 16**5 - 1
+        assert space.n_configurations >= 10**6
+        objective = RibbonObjective(space, qos_rate_target=0.95)
+        evaluator = ConfigurationEvaluator(model, trace, objective)
+        res = RibbonOptimizer(
+            max_samples=6, n_initial=2, seed=0, patience=None
+        ).search(evaluator)
+        assert len(res.history) == 6
+        assert res.metadata["acquisition_streamed"] is True
+        # The whole search — acquisition, pruning stats, exhaustive-cost
+        # accounting — ran without ever building the 10^6-row grid.
+        assert "_grid" not in space.__dict__
+        assert "_grid_unit" not in space.__dict__
+        assert res.exhaustive_cost_dollars > 0.0
+
+    def test_million_cell_batched_search(self):
+        model = make_toy_model5()
+        trace = make_toy_trace(model, n=250, seed=3)
+        space = SearchSpace(FIVE_FAMILIES, (15, 15, 15, 15, 15))
+        objective = RibbonObjective(space, qos_rate_target=0.95)
+        evaluator = ConfigurationEvaluator(model, trace, objective)
+        res = RibbonOptimizer(
+            max_samples=6, n_initial=2, seed=0, batch_size=2, patience=None
+        ).search(evaluator)
+        assert len(res.history) == 6
+        counts = sequence(res)
+        assert len(counts) == len(set(counts))
+        assert "_grid" not in space.__dict__
+
+
+# ---------------------------------------------------------------------------
+# Scenario / runner plumbing
+# ---------------------------------------------------------------------------
+class TestScenarioPlumbing:
+    def test_budget_batch_size_validated(self):
+        from repro.api import EvaluationBudget, ScenarioError
+
+        assert EvaluationBudget().batch_size == 1
+        assert EvaluationBudget(batch_size=4).batch_size == 4
+        with pytest.raises(ScenarioError, match="batch_size"):
+            EvaluationBudget(batch_size=0)
+
+    def test_builder_sets_batch_size(self):
+        from repro.api import Scenario
+
+        scn = Scenario.builder("MT-WND").budget(8, batch_size=4).build()
+        assert scn.budget.max_samples == 8
+        assert scn.budget.batch_size == 4
+
+    def test_runner_plumbs_batch_size_to_ribbon(self):
+        from repro.api import Scenario
+
+        scn = (
+            Scenario.builder("MT-WND")
+            .workload(n_queries=400, seed=1)
+            .pool("g4dn", "t3", bounds=(4, 6))
+            .budget(8, batch_size=4)
+            .build()
+        )
+        res = scn.run("ribbon", seed=0, patience=None)
+        assert res.metadata["proposal_engine"] == "constant-liar-qei"
+        assert res.metadata["proposal_batches"] >= 1
+
+    def test_runner_leaves_baselines_alone(self):
+        from repro.api import Scenario
+
+        scn = (
+            Scenario.builder("MT-WND")
+            .workload(n_queries=400, seed=1)
+            .pool("g4dn", "t3", bounds=(4, 6))
+            .budget(6, batch_size=4)
+            .build()
+        )
+        res = scn.run("random", seed=0)
+        assert len(res.history) <= 6
+
+    def test_explicit_kwarg_wins_over_scenario(self):
+        from repro.api import Scenario
+
+        scn = (
+            Scenario.builder("MT-WND")
+            .workload(n_queries=400, seed=1)
+            .pool("g4dn", "t3", bounds=(4, 6))
+            .budget(6, batch_size=4)
+            .build()
+        )
+        res = scn.run("ribbon", seed=0, batch_size=1)
+        assert res.metadata["proposal_engine"] == "sequential-ei"
+
+
+class TestStrategyOptionsRegistry:
+    def test_ribbon_surfaces_batch_knobs(self):
+        from repro.api import strategy_options
+
+        names = [opt.name for opt in strategy_options("ribbon")]
+        assert "batch_size" in names
+        assert "proposal_engine" in names
+        assert "max_samples" in names
+
+    def test_defaults_reported(self):
+        from repro.api import strategy_options
+
+        by_name = {opt.name: opt for opt in strategy_options("ribbon")}
+        assert by_name["batch_size"].default == 1
+        assert by_name["proposal_engine"].default is None
+        assert not by_name["batch_size"].required
+
+    def test_unknown_strategy_raises(self):
+        from repro.api import UnknownStrategyError, strategy_options
+
+        with pytest.raises(UnknownStrategyError):
+            strategy_options("simulated-annealing")
