@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
@@ -305,6 +305,7 @@ class ScenarioRunner:
         seed: int = 0,
         start: PoolConfiguration | Sequence[int] | None = None,
         fresh_evaluator: bool = False,
+        progress: "Callable[[EvaluationRecord], None] | None" = None,
         **strategy_kwargs,
     ) -> SearchResult:
         """Run one search and return its :class:`SearchResult`.
@@ -323,6 +324,13 @@ class ScenarioRunner:
         fresh_evaluator:
             Search against a forked evaluator so this run's accounting is
             isolated from earlier runs sharing the materialization.
+        progress:
+            Optional observer called with each newly admitted
+            :class:`EvaluationRecord` as the search runs (the optimization
+            service's live-progress/cancellation hook).  Implies a fresh
+            evaluator — per-run progress must not be polluted by records
+            other runs admitted — and an exception raised by the observer
+            aborts the search and propagates to the caller.
         strategy_kwargs:
             Extra constructor knobs for the strategy (``patience=None``,
             ``use_pruning=False``, ...).  ``max_samples`` defaults to the
@@ -330,7 +338,11 @@ class ScenarioRunner:
         """
         mat = self.materialize(seed)
         strat = self._make_strategy(strategy, seed, strategy_kwargs)
-        evaluator = mat.fresh_evaluator() if fresh_evaluator else mat.evaluator
+        if progress is not None:
+            evaluator = mat.fresh_evaluator()
+            evaluator.on_record = progress
+        else:
+            evaluator = mat.fresh_evaluator() if fresh_evaluator else mat.evaluator
         return strat.search(evaluator, start=self._resolve_start(mat, start))
 
     def run_many(

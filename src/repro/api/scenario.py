@@ -22,6 +22,10 @@ instead of failing deep inside the evaluator half a search later.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
@@ -305,6 +309,122 @@ class Scenario:
     def trace_seed(self, run_seed: int) -> int:
         """The trace seed a run with ``run_seed`` uses (pinned or follow)."""
         return self.workload.seed if self.workload.seed is not None else int(run_seed)
+
+    # -- JSON round-trip --------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The scenario as a JSON-ready nested dict.
+
+        Every field is emitted explicitly (defaults included), so the
+        document is self-describing and :meth:`from_dict` round-trips it
+        to an equal :class:`Scenario` — the wire format of the
+        optimization service and the key material of its snapshot store.
+        """
+        return {
+            "model": self.model,
+            "workload": {
+                "n_queries": self.workload.n_queries,
+                "seed": self.workload.seed,
+                "load_factor": self.workload.load_factor,
+                "gaussian": self.workload.gaussian,
+            },
+            "qos": {
+                "latency_target_ms": self.qos.latency_target_ms,
+                "rate_target": self.qos.rate_target,
+            },
+            "pool": {
+                "families": (
+                    list(self.pool.families)
+                    if self.pool.families is not None
+                    else None
+                ),
+                "bounds": (
+                    list(self.pool.bounds) if self.pool.bounds is not None else None
+                ),
+                "bound_cap": self.pool.bound_cap,
+            },
+            "budget": {
+                "max_samples": self.budget.max_samples,
+                "eval_duration_hours": self.budget.eval_duration_hours,
+                "batch_size": self.budget.batch_size,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "Scenario":
+        """Build a validated :class:`Scenario` from a :meth:`to_dict` document.
+
+        Accepts partial documents — any omitted (or ``None``) section
+        keeps its defaults, mirroring the builder.  Every malformation —
+        wrong container type, unknown field names, bad field values — is
+        surfaced as a :class:`ScenarioError` whose message names the
+        offending section and field, so service callers get structured,
+        actionable validation errors instead of ``TypeError`` innards.
+        """
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"scenario document must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        sections = {
+            "workload": WorkloadSpec,
+            "qos": QoSSpec,
+            "pool": PoolSpec,
+            "budget": EvaluationBudget,
+        }
+        unknown = sorted(set(data) - set(sections) - {"model"})
+        if unknown:
+            raise ScenarioError(
+                f"unknown scenario field(s): {', '.join(unknown)}; "
+                f"known: model, {', '.join(sections)}"
+            )
+        if "model" not in data:
+            raise ScenarioError(
+                "scenario document is missing the required 'model' field"
+            )
+        kwargs: dict[str, Any] = {"model": data["model"]}
+        for section, spec_cls in sections.items():
+            doc = data.get(section)
+            if doc is None:
+                continue
+            if not isinstance(doc, Mapping):
+                raise ScenarioError(
+                    f"scenario {section!r} must be a JSON object, got "
+                    f"{type(doc).__name__}"
+                )
+            names = [f.name for f in dataclasses.fields(spec_cls)]
+            unknown = sorted(set(doc) - set(names))
+            if unknown:
+                raise ScenarioError(
+                    f"unknown {section} field(s): {', '.join(unknown)}; "
+                    f"known: {', '.join(names)}"
+                )
+            values = {k: v for k, v in doc.items() if v is not None}
+            for key in ("families", "bounds"):
+                if key in values:
+                    seq = values[key]
+                    if isinstance(seq, str) or not isinstance(seq, Sequence):
+                        raise ScenarioError(
+                            f"{section} {key} must be a JSON array, got "
+                            f"{type(seq).__name__}"
+                        )
+                    values[key] = tuple(seq)
+            try:
+                kwargs[section] = spec_cls(**values)
+            except TypeError as exc:
+                raise ScenarioError(f"bad {section} section: {exc}") from None
+        return cls(**kwargs)
+
+    def identity(self) -> str:
+        """Stable content hash of this scenario (the snapshot-store key).
+
+        Equal scenarios — including a scenario rebuilt through the
+        :meth:`to_dict`/:meth:`from_dict` round-trip, in any process —
+        share one identity; any semantic field change produces a new one.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     # -- functional updates ---------------------------------------------------------
     def with_workload(self, **changes: Any) -> "Scenario":

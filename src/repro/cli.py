@@ -8,6 +8,7 @@ Examples::
     repro-ribbon search DIEN --method hill-climb
     repro-ribbon strategies           # list the registered strategies
     repro-ribbon fig10 --models MT-WND DIEN
+    repro-ribbon serve --port 8765 --snapshot-dir ./snapshots
 
 Every figure/table of the paper's evaluation has a matching subcommand; the
 heavy experiments accept ``--queries`` and ``--seeds`` to trade fidelity for
@@ -176,6 +177,29 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import JobManager, SnapshotStore, make_server
+
+    store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    manager = JobManager(store=store, max_workers=args.workers)
+    server = make_server(manager, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro-ribbon service listening on http://{host}:{port}")
+    if store is not None:
+        restored = sum(1 for j in manager.jobs() if j.restored)
+        print(f"snapshots: {store.root} ({restored} jobs restored)")
+    print("endpoints: /health /stats /jobs /jobs/<id>[/result|/stream]")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown(cancel_running=True)
+    return 0
+
+
 def _cmd_strategies(args: argparse.Namespace) -> int:
     rows = []
     for name in available_strategies():
@@ -253,6 +277,32 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ps.set_defaults(func=_cmd_search)
+
+    pv = sub.add_parser(
+        "serve", help="run the long-running optimization service daemon"
+    )
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (0 picks an ephemeral port, printed at startup)",
+    )
+    pv.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help=(
+            "directory for the append-only job store; enables warm "
+            "restart and reuse of stored results (default: in-memory only)"
+        ),
+    )
+    pv.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent search jobs (default: 2)",
+    )
+    pv.set_defaults(func=_cmd_serve)
 
     pl = sub.add_parser("strategies", help="list the registered strategies")
     pl.set_defaults(func=_cmd_strategies)

@@ -12,7 +12,7 @@ dollar cost of exploration (Fig. 13/14 accounting).
 from __future__ import annotations
 
 import os
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -147,6 +147,14 @@ class ConfigurationEvaluator:
         )
         self._cache: dict[tuple[int, ...], EvaluationRecord] = {}
         self._history: list[EvaluationRecord] = []
+        #: Optional observer called with each *newly admitted* record (cache
+        #: hits never re-fire).  Admission is always sequential — the
+        #: parallel ``evaluate_many`` path simulates concurrently but admits
+        #: in order from the calling thread — so the hook needs no locking.
+        #: An exception raised by the hook propagates out of the evaluation
+        #: after the record is admitted; the optimization service uses this
+        #: for live progress reporting and cooperative job cancellation.
+        self.on_record: "Callable[[EvaluationRecord], None] | None" = None
         # Running accumulators mirroring _history (kept O(1) per evaluation;
         # summed in history order so totals match a left-to-right re-sum).
         self._cost_per_hour_sum = 0.0
@@ -320,6 +328,8 @@ class ConfigurationEvaluator:
         self._cost_per_hour_sum += record.cost_per_hour
         if not record.meets_qos:
             self._n_violating += 1
+        if self.on_record is not None:
+            self.on_record(record)
 
     def _record_from_result(
         self, pool: PoolConfiguration, result: SimulationResult

@@ -268,12 +268,36 @@ class RibbonOptimizer(SearchStrategy):
                 raise ValueError(f"start {start} outside search space {space}")
             if not record_sample(start):
                 return
-            while budget.n_samples < min(self.n_initial, self.max_samples):
-                cand = ctx.random_unsampled()
-                if cand is None:
+            # The random design flows through the same Budget.evaluate_batch
+            # path as the BO loop, so batch_size > 1 amortizes it (and can
+            # simulate it thread-parallel) too.  At batch_size=1 each batch
+            # holds one candidate, replaying the sequential draw/evaluate/
+            # learn interleaving — and hence the RNG stream — bit-for-bit.
+            n_init = min(self.n_initial, self.max_samples)
+            while budget.n_samples < n_init:
+                drawn: list[int] = []
+                while (
+                    len(drawn) < self.batch_size
+                    and budget.n_samples + len(drawn) < n_init
+                ):
+                    cand = ctx.random_unsampled()
+                    if cand is None:
+                        break
+                    # Pre-mark the cell so the batch's next draw cannot
+                    # repeat it (sequentially, observe() did the marking).
+                    ctx.sampled_idx.add(cand)
+                    drawn.append(cand)
+                if not drawn:
                     return
-                if not record_sample(space.pool(ctx.counts_at(cand))):
-                    return
+                init_pools = [space.pool(ctx.counts_at(i)) for i in drawn]
+                init_records = budget.evaluate_batch(
+                    init_pools,
+                    parallel=self.batch_parallel and len(init_pools) > 1,
+                )
+                for pool, rec in zip(init_pools, init_records):
+                    if rec is None:
+                        return
+                    learn(pool, rec)
 
             # ---- BO loop -----------------------------------------------------
             stale = 0

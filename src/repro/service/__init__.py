@@ -1,0 +1,51 @@
+"""Long-running optimization service: the library turned into a system.
+
+Four layers, each testable without the one below it:
+
+* :mod:`repro.service.jobs` — :class:`JobManager`: a thread-pooled worker
+  queue owning runner instances, per-job lifecycle (queued →
+  materializing → searching → done/failed/cancelled), live incremental
+  progress, cooperative cancellation, and fork-on-load-change (the
+  Fig. 16 machinery made continuous).  The runner factory is injectable,
+  so the whole manager runs under test with a stub that never simulates.
+* :mod:`repro.service.store` — :class:`SnapshotStore`: append-only JSON
+  snapshots of scenarios and results keyed by the frozen
+  :meth:`Scenario.identity`, giving the daemon warm restarts and free
+  answers to re-submitted identical scenarios.
+* :mod:`repro.service.http` — a stdlib-only ``http.server`` front-end
+  (submit/list/poll/stream/fork/cancel/health/stats, NDJSON progress
+  streaming); started from the shell with ``repro-ribbon serve``.
+* :mod:`repro.service.client` — :class:`ServiceClient`: a
+  ``urllib``-based Python client mirroring the HTTP surface.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import ServiceHandler, ServiceServer, make_server
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobCancelled,
+    JobManager,
+)
+from repro.service.store import (
+    SnapshotStore,
+    record_to_dict,
+    search_result_to_dict,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandler",
+    "ServiceServer",
+    "SnapshotStore",
+    "TERMINAL_STATES",
+    "make_server",
+    "record_to_dict",
+    "search_result_to_dict",
+]

@@ -1,0 +1,160 @@
+"""Python client for the optimization service (stdlib ``urllib`` only).
+
+Mirrors the HTTP surface one method per endpoint and translates error
+bodies back into :class:`ServiceError`, so driving a remote daemon reads
+like driving a local :class:`~repro.api.runner.ScenarioRunner`::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit(Scenario("MT-WND"), "ribbon", seed=0)
+    for snap in client.stream(job["id"]):        # live NDJSON progress
+        print(snap["state"], snap["evaluations"], snap["best"])
+    result = client.result(job["id"])["result"]
+    surged = client.fork(job["id"], load_factor=1.5)   # live load change
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+from repro.api.scenario import Scenario
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (carries status + typed body)."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(f"[{status}] {error_type}: {message}")
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to one running service daemon.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``http://127.0.0.1:8765`` (trailing slash tolerated).
+    timeout:
+        Per-request socket timeout in seconds (streams use it as the
+        connect timeout; reads then block on server-pushed lines).
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- plumbing -----------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._service_error(exc) from None
+
+    @staticmethod
+    def _service_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            err = json.loads(exc.read().decode("utf-8"))["error"]
+            return ServiceError(exc.code, err["type"], err["message"])
+        except Exception:  # noqa: BLE001 - non-JSON error body
+            return ServiceError(exc.code, "HTTPError", str(exc))
+
+    # -- endpoints ----------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(
+        self,
+        scenario: Scenario | dict,
+        strategy: str = "ribbon",
+        *,
+        seed: int = 0,
+        reuse: bool | None = None,
+        **options: Any,
+    ) -> dict:
+        """Submit a scenario; returns the queued job's snapshot."""
+        doc = scenario.to_dict() if isinstance(scenario, Scenario) else scenario
+        body: dict[str, Any] = {
+            "scenario": doc,
+            "strategy": strategy,
+            "seed": seed,
+        }
+        if reuse is not None:
+            body["reuse"] = reuse
+        if options:
+            body["options"] = options
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel", {})
+
+    def fork(
+        self,
+        job_id: str,
+        *,
+        seed: int | None = None,
+        strategy: str | None = None,
+        **workload_changes: Any,
+    ) -> dict:
+        """Fork a job onto a changed workload (live load adaptation)."""
+        body: dict[str, Any] = {"workload": workload_changes}
+        if seed is not None:
+            body["seed"] = seed
+        if strategy is not None:
+            body["strategy"] = strategy
+        return self._request("POST", f"/jobs/{job_id}/fork", body)
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Yield NDJSON progress snapshots until the job's terminal one."""
+        req = urllib.request.Request(self.base_url + f"/jobs/{job_id}/stream")
+        try:
+            resp = urllib.request.urlopen(req, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raise self._service_error(exc) from None
+        with resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def wait(self, job_id: str, *, timeout: float = 120.0, poll: float = 0.2) -> dict:
+        """Poll until the job is terminal; returns its final snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snap = self.job(job_id)
+            if snap["state"] in ("done", "failed", "cancelled"):
+                return snap
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snap['state']!r} after {timeout:g}s"
+                )
+            time.sleep(poll)

@@ -151,3 +151,53 @@ class TestWarmStart:
             assert not (
                 rec.pool.counts[0] <= 2 and rec.pool.counts[1] <= 3
             ), f"sampled pruned config {rec.pool}"
+
+
+class TestBatchedInitialDesign:
+    """The random initial design rides the Budget.evaluate_batch path."""
+
+    def test_initial_design_flows_through_evaluate_batch(self, ctx, monkeypatch):
+        from repro.core import strategy as strategy_module
+
+        sizes = []
+        orig = strategy_module.Budget.evaluate_batch
+
+        def spy(self, pools, parallel=False):
+            sizes.append(len(pools))
+            return orig(self, pools, parallel=parallel)
+
+        monkeypatch.setattr(strategy_module.Budget, "evaluate_batch", spy)
+        opt = RibbonOptimizer(
+            max_samples=6, seed=0, n_initial=6, batch_size=4, patience=None
+        )
+        opt.search(fresh_evaluator(ctx))
+        # The start point consumes one design slot; the remaining 5 random
+        # draws are evaluated as a 4-batch plus the remainder — not one
+        # evaluate() call per point.
+        assert sizes == [4, 1]
+
+    def test_batched_draws_replay_the_sequential_rng_stream(self, ctx):
+        """batch_size only groups evaluations; the draw order is unchanged.
+
+        Pre-marking each drawn cell reproduces exactly the sampled-mask
+        state the sequential draw/observe interleaving would have built,
+        so the initial design is the same point set in the same order.
+        (Pruning is disabled: sequentially it can retire cells *between*
+        draws from evaluations a batch intentionally defers.)
+        """
+        n_init = 5
+        kwargs = dict(
+            max_samples=n_init,
+            seed=3,
+            n_initial=n_init,
+            patience=None,
+            use_pruning=False,
+        )
+        seq = RibbonOptimizer(**kwargs).search(fresh_evaluator(ctx))
+        bat = RibbonOptimizer(batch_size=4, **kwargs).search(fresh_evaluator(ctx))
+        assert [r.pool.counts for r in bat.history] == [
+            r.pool.counts for r in seq.history
+        ]
+        assert [r.cost_per_hour for r in bat.history] == [
+            r.cost_per_hour for r in seq.history
+        ]

@@ -7,7 +7,11 @@ the previously hand-wired six-step pipeline, and deterministic multi-seed
 sweeps (sequential == parallel).
 """
 
+import json
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import (
     ConfigurationEvaluator,
@@ -382,3 +386,133 @@ class TestEquivalenceAndSweeps:
             runner.run_many("random", seeds=(1, 1))
         with pytest.raises(ScenarioError, match="name"):
             runner.run_many(RandomSearch(max_samples=8, seed=0))
+
+
+class TestSerialization:
+    """Scenario <-> dict wire format (the service's submission body)."""
+
+    def test_round_trip_is_identity(self):
+        scenario = (
+            Scenario.builder("MT-WND")
+            .workload(n_queries=900, seed=4, load_factor=1.5)
+            .qos(rate_target=0.95)
+            .pool("g4dn", "t3", bounds=(3, 5))
+            .budget(max_samples=12, batch_size=2)
+            .build()
+        )
+        doc = scenario.to_dict()
+        # The document is pure JSON: survives an actual encode/decode.
+        assert Scenario.from_dict(json.loads(json.dumps(doc))) == scenario
+        assert Scenario.from_dict(doc).identity() == scenario.identity()
+
+    def test_partial_document_keeps_defaults(self):
+        scenario = Scenario.from_dict({"model": "DIEN"})
+        assert scenario == Scenario("DIEN")
+        partial = Scenario.from_dict(
+            {"model": "DIEN", "workload": {"n_queries": 777}}
+        )
+        assert partial.workload.n_queries == 777
+        assert partial.budget == Scenario("DIEN").budget
+
+    def test_none_valued_fields_mean_defaults(self):
+        scenario = Scenario.from_dict(
+            {"model": "MT-WND", "workload": {"seed": None}, "qos": None}
+        )
+        assert scenario == Scenario("MT-WND")
+
+    def test_identity_is_stable_and_discriminating(self):
+        a = Scenario("MT-WND")
+        assert a.identity() == Scenario("MT-WND").identity()
+        assert len(a.identity()) == 16
+        changed = [
+            a.with_workload(load_factor=1.2),
+            a.with_workload(seed=9),
+            a.with_qos(rate_target=0.95),
+            a.with_budget(max_samples=41),
+            Scenario("DIEN"),
+        ]
+        identities = {a.identity(), *[s.identity() for s in changed]}
+        assert len(identities) == len(changed) + 1
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(ScenarioError, match="JSON object"):
+            Scenario.from_dict(["MT-WND"])
+        with pytest.raises(ScenarioError, match="JSON object"):
+            Scenario.from_dict({"model": "MT-WND", "workload": [1, 2]})
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(ScenarioError, match="model"):
+            Scenario.from_dict({"workload": {"n_queries": 10}})
+
+    def test_unknown_fields_named_in_error(self):
+        with pytest.raises(ScenarioError, match="workloud"):
+            Scenario.from_dict({"model": "MT-WND", "workloud": {}})
+        with pytest.raises(ScenarioError, match="n_querys.*n_queries"):
+            Scenario.from_dict(
+                {"model": "MT-WND", "workload": {"n_querys": 10}}
+            )
+
+    def test_families_and_bounds_must_be_arrays(self):
+        with pytest.raises(ScenarioError, match="array"):
+            Scenario.from_dict(
+                {"model": "MT-WND", "pool": {"families": "g4dn"}}
+            )
+        with pytest.raises(ScenarioError, match="array"):
+            Scenario.from_dict({"model": "MT-WND", "pool": {"bounds": 4}})
+
+    def test_bad_values_surface_builder_validation(self):
+        with pytest.raises(ScenarioError, match="n_queries"):
+            Scenario.from_dict(
+                {"model": "MT-WND", "workload": {"n_queries": -5}}
+            )
+        with pytest.raises(ScenarioError, match="model"):
+            Scenario.from_dict({"model": "NO-SUCH-MODEL"})
+
+    @given(
+        n_queries=st.integers(min_value=1, max_value=100_000),
+        seed=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+        load_factor=st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+        gaussian=st.booleans(),
+        rate_target=st.floats(min_value=0.5, max_value=1.0, allow_nan=False),
+        bounds=st.one_of(
+            st.none(),
+            st.tuples(
+                st.integers(min_value=1, max_value=16),
+                st.integers(min_value=1, max_value=16),
+            ),
+        ),
+        max_samples=st.integers(min_value=1, max_value=500),
+        batch_size=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(
+        self,
+        n_queries,
+        seed,
+        load_factor,
+        gaussian,
+        rate_target,
+        bounds,
+        max_samples,
+        batch_size,
+    ):
+        """Any valid scenario survives to_dict -> JSON -> from_dict intact."""
+        builder = (
+            Scenario.builder("MT-WND")
+            .workload(
+                n_queries=n_queries,
+                seed=seed,
+                load_factor=load_factor,
+                gaussian=gaussian,
+            )
+            .qos(rate_target=rate_target)
+            .budget(max_samples=max_samples, batch_size=batch_size)
+        )
+        if bounds is not None:
+            builder = builder.pool("g4dn", "t3", bounds=bounds)
+        scenario = builder.build()
+        wire = json.loads(json.dumps(scenario.to_dict()))
+        rebuilt = Scenario.from_dict(wire)
+        assert rebuilt == scenario
+        assert rebuilt.identity() == scenario.identity()
+        assert rebuilt.to_dict() == scenario.to_dict()
