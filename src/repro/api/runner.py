@@ -25,6 +25,11 @@ from dataclasses import dataclass, replace
 
 from repro.api.registry import make_strategy, strategy_options
 from repro.api.scenario import PoolSpec, Scenario, ScenarioError
+from repro.core.backends import (
+    EvaluationBackend,
+    default_eval_workers,
+    resolve_backend,
+)
 from repro.core.evaluator import ConfigurationEvaluator, EvaluationRecord
 from repro.core.objective import RibbonObjective
 from repro.core.result import SearchResult
@@ -109,6 +114,20 @@ class ScenarioRunner:
         (``"auto"`` default, or a forced ``"linear"``/``"heap"``/
         ``"vector"`` substrate — all bit-identical).  :meth:`fork`
         propagates it.
+    eval_backend, eval_workers:
+        Evaluation backend for batched evaluations — a registered name
+        (``"serial"``/``"thread"``/``"process"``) or an
+        :class:`~repro.core.backends.EvaluationBackend` instance — and
+        its worker count.  Handed to every evaluator this runner builds
+        and propagated by :meth:`fork`; all backends are bit-identical
+        by contract.  Default (None) defers to the shared thread
+        backend.
+    disk_cache:
+        Path (or :class:`~repro.simulator.disk_cache.DiskResultStore`)
+        of a disk tier for the simulation-result memo: the runner builds
+        a private ``SimulationResultCache`` backed by it, so identical
+        sweeps survive process restarts.  Mutually exclusive with an
+        explicit ``simulation_cache``.
     """
 
     def __init__(
@@ -121,6 +140,9 @@ class ScenarioRunner:
         simulation_cache: SimulationResultCache | None = None,
         dispatch: str = "auto",
         dispatch_counters: DispatchCounters | None = None,
+        eval_backend: "EvaluationBackend | str | None" = None,
+        eval_workers: int | None = None,
+        disk_cache=None,
     ):
         if not isinstance(scenario, Scenario):
             raise ScenarioError(
@@ -132,11 +154,27 @@ class ScenarioRunner:
         self._service_cache = (
             service_cache if service_cache is not None else shared_service_cache()
         )
+        if disk_cache is not None:
+            if simulation_cache is not None:
+                raise ScenarioError(
+                    "pass either simulation_cache or disk_cache, not both "
+                    "(attach the disk tier with "
+                    "SimulationResultCache(disk=...) instead)"
+                )
+            # A private memory tier over the disk store: the process-wide
+            # shared cache must not silently gain a disk tier.
+            simulation_cache = SimulationResultCache(disk=disk_cache)
         self._simulation_cache = (
             simulation_cache
             if simulation_cache is not None
             else shared_simulation_cache()
         )
+        if eval_workers is not None and eval_workers < 1:
+            raise ScenarioError(f"eval_workers must be >= 1, got {eval_workers!r}")
+        try:
+            self._eval_backend = resolve_backend(eval_backend, eval_workers)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
         if dispatch not in InferenceServingSimulator.DISPATCH_POLICIES:
             raise ScenarioError(
                 "dispatch must be one of "
@@ -239,6 +277,7 @@ class ScenarioRunner:
             result_cache=self._simulation_cache,
             dispatch=self._dispatch,
             dispatch_counters=self._dispatch_counters,
+            backend=self._eval_backend,
         )
         return MaterializedScenario(
             scenario=scn,
@@ -270,6 +309,23 @@ class ScenarioRunner:
     def dispatch(self) -> str:
         """The dispatch policy this runner's evaluators simulate with."""
         return self._dispatch
+
+    @property
+    def eval_backend(self) -> EvaluationBackend | None:
+        """The evaluation backend this runner's evaluators batch on (or
+        None, meaning the process-wide default thread backend)."""
+        return self._eval_backend
+
+    def close(self) -> None:
+        """Release backend workers and the disk tier (if any).
+
+        Safe to call repeatedly; the runner keeps working afterwards
+        (backends re-spawn workers lazily, the disk store reopens)."""
+        if self._eval_backend is not None:
+            self._eval_backend.close()
+        disk = self._simulation_cache.disk
+        if disk is not None:
+            disk.close()
 
     def dispatch_counts(self) -> dict[str, int]:
         """Per-substrate dispatch run counts across this runner's
@@ -378,7 +434,11 @@ class ScenarioRunner:
         # Materialize up front (deterministic order), then search in parallel.
         for s in seed_list:
             self.materialize(s)
-        workers = max_workers if max_workers is not None else min(len(seed_list), 8)
+        workers = (
+            max_workers
+            if max_workers is not None
+            else min(len(seed_list), default_eval_workers())
+        )
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = {
                 s: pool.submit(self._run_isolated, strategy, s, start, strategy_kwargs)
@@ -470,6 +530,7 @@ class ScenarioRunner:
             simulation_cache=self._simulation_cache,
             dispatch=self._dispatch,
             dispatch_counters=self._dispatch_counters,
+            eval_backend=self._eval_backend,
         )
 
     def homogeneous_optimum(
@@ -506,6 +567,7 @@ class ScenarioRunner:
             simulation_cache=self._simulation_cache,
             dispatch=self._dispatch,
             dispatch_counters=self._dispatch_counters,
+            eval_backend=self._eval_backend,
         )
         with self._lock:
             base = self._materialized.get(self.scenario.trace_seed(seed))

@@ -139,6 +139,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     extras = {
         "batch_size": args.batch_size,
         "proposal_engine": args.proposal_engine,
+        "eval_backend": args.eval_backend,
+        "eval_workers": args.eval_workers,
     }
     supported = {opt.name for opt in strategy_options(args.method)}
     for knob, value in extras.items():
@@ -165,7 +167,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     setting = ExperimentSetting(n_queries=args.queries)
-    exp = make_experiment(args.model, setting)
+    exp = make_experiment(args.model, setting, disk_cache=args.disk_cache)
     result = strategy.search(exp.evaluator, start=exp.default_start())
     print(result.summary())
     if result.best is not None:
@@ -174,6 +176,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
             f"homogeneous baseline {exp.homogeneous_optimum.pool} "
             f"${exp.homogeneous_cost:.3f}/hr -> saving {saving:.1f}%"
         )
+    if args.disk_cache:
+        stats = exp.runner.cache_stats()["simulation"]
+        print(
+            f"disk cache {args.disk_cache}: "
+            f"{stats['disk_entries']} entries, "
+            f"{stats['disk_hits']} hits / {stats['disk_misses']} misses"
+        )
     return 0
 
 
@@ -181,7 +190,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import JobManager, SnapshotStore, make_server
 
     store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
-    manager = JobManager(store=store, max_workers=args.workers)
+    manager = JobManager(
+        store=store,
+        max_workers=args.workers,
+        eval_backend=args.eval_backend,
+        eval_workers=args.eval_workers,
+        disk_cache=args.disk_cache,
+    )
     server = make_server(manager, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"repro-ribbon service listening on http://{host}:{port}")
@@ -219,6 +234,34 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
         opts = ", ".join(str(opt) for opt in strategy_options(name))
         print(f"  {name}: {opts}")
     return 0
+
+
+def _add_eval_args(parser: argparse.ArgumentParser) -> None:
+    """Shared evaluation-backend / disk-cache flags (search, serve)."""
+    parser.add_argument(
+        "--eval-backend",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help=(
+            "evaluation backend for batched simulations (all are "
+            "bit-identical; default: thread)"
+        ),
+    )
+    parser.add_argument(
+        "--eval-workers",
+        type=int,
+        default=None,
+        help="worker count for the evaluation backend (default: CPU count)",
+    )
+    parser.add_argument(
+        "--disk-cache",
+        default=None,
+        metavar="PATH",
+        help=(
+            "SQLite path for the disk tier of the simulation-result cache; "
+            "identical runs survive process restarts"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -276,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
             "constant-liar-qei (default picks by --batch-size)"
         ),
     )
+    _add_eval_args(ps)
     ps.set_defaults(func=_cmd_search)
 
     pv = sub.add_parser(
@@ -302,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="concurrent search jobs (default: 2)",
     )
+    _add_eval_args(pv)
     pv.set_defaults(func=_cmd_serve)
 
     pl = sub.add_parser("strategies", help="list the registered strategies")

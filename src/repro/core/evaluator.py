@@ -11,11 +11,14 @@ dollar cost of exploration (Fig. 13/14 accounting).
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable, Iterable
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.core.backends import (
+    EvaluationBackend,
+    default_thread_backend,
+    resolve_backend,
+)
 from repro.core.objective import ObjectiveFunction
 from repro.core.search_space import SearchSpace
 from repro.models.base import ModelProfile
@@ -90,6 +93,13 @@ class ConfigurationEvaluator:
         every fork), so a whole sweep's dispatch mix can be reported from
         one object.  Defaults to a fresh
         :class:`~repro.simulator.engine.DispatchCounters`.
+    backend:
+        Default :class:`~repro.core.backends.EvaluationBackend` (or
+        registry name) for the parallel :meth:`evaluate_many` path; None
+        falls back to the shared thread backend (the pre-backend
+        behavior, bit-identical).  Propagated by :meth:`fork` so a whole
+        sweep shares one worker pool.  All backends produce bit-identical
+        records — they only move *where* simulations execute.
 
     Raises
     ------
@@ -112,6 +122,7 @@ class ConfigurationEvaluator:
         result_cache: SimulationResultCache | None = None,
         dispatch: str = "auto",
         dispatch_counters: DispatchCounters | None = None,
+        backend: "EvaluationBackend | str | None" = None,
     ):
         if len(trace) == 0:
             raise ValueError(
@@ -145,6 +156,7 @@ class ConfigurationEvaluator:
             dispatch=dispatch,
             dispatch_counters=dispatch_counters,
         )
+        self._backend = resolve_backend(backend)
         self._cache: dict[tuple[int, ...], EvaluationRecord] = {}
         self._history: list[EvaluationRecord] = []
         #: Optional observer called with each *newly admitted* record (cache
@@ -186,6 +198,12 @@ class ConfigurationEvaluator:
         """The serving simulator behind this evaluator (introspection:
         dispatch policy, engagement counters, caches)."""
         return self._sim
+
+    @property
+    def eval_backend(self) -> EvaluationBackend | None:
+        """The configured default evaluation backend (None = the shared
+        thread backend engages on the parallel path)."""
+        return self._backend
 
     @property
     def eval_duration_hours(self) -> float:
@@ -244,16 +262,17 @@ class ConfigurationEvaluator:
         *,
         parallel: bool = False,
         max_workers: int | None = None,
+        backend: "EvaluationBackend | str | None" = None,
     ) -> list[EvaluationRecord]:
         """Evaluate several configurations; records in ``pools`` order.
 
         With ``parallel=True`` the *simulations* of uncached pools run on
-        a thread pool (safe: the simulator keeps no per-call state, its
-        caches are lock-protected, and dispatch counters aggregate under
-        their own lock), while the records — sample indices, history
-        order, exploration accounting — are still admitted sequentially
-        in ``pools`` order, so the result is bit-identical to the serial
-        path.
+        an :class:`~repro.core.backends.EvaluationBackend` — ``backend``
+        overrides per call, else the evaluator's configured default, else
+        the shared thread backend (the pre-backend behavior) — while the
+        records — sample indices, history order, exploration accounting —
+        are still admitted sequentially in ``pools`` order, so the result
+        is bit-identical to the serial path whatever the backend.
         """
         pools = list(pools)
         for pool in pools:
@@ -272,17 +291,14 @@ class ConfigurationEvaluator:
                 seen.add(pool.counts)
                 fresh.append(pool)
             if len(fresh) > 1:
-                workers = (
-                    max_workers
-                    if max_workers is not None
-                    else min(len(fresh), os.cpu_count() or 1)
+                eff = (
+                    resolve_backend(backend)
+                    or self._backend
+                    or default_thread_backend()
                 )
-                with ThreadPoolExecutor(max_workers=workers) as executor:
-                    results = list(
-                        executor.map(
-                            lambda p: self._sim.simulate(self._trace, p), fresh
-                        )
-                    )
+                results = eff.simulate_many(
+                    self._sim, self._trace, fresh, max_workers=max_workers
+                )
                 presimulated = {
                     p.counts: r for p, r in zip(fresh, results)
                 }
@@ -377,4 +393,5 @@ class ConfigurationEvaluator:
             result_cache=self._sim.result_cache,
             dispatch=self._sim.dispatch,
             dispatch_counters=self._sim.dispatch_counters,
+            backend=self._backend,
         )

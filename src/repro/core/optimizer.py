@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backends import resolve_backend
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.pruning import PruneSet
 from repro.core.strategy import Budget, SearchStrategy
@@ -111,10 +112,22 @@ class RibbonOptimizer(SearchStrategy):
         ProposalEngine` instance, or ``None`` to pick the default for
         ``batch_size``.
     batch_parallel:
-        Simulate the proposals of one batch on a thread pool
-        (``batch_size > 1`` only).  Record order — and therefore the
-        search result — is deterministic either way; simulations are
-        bit-identical by the dispatch-substrate contract.
+        Simulate the proposals of one batch in parallel on the selected
+        evaluation backend (``batch_size > 1`` only).  Record order —
+        and therefore the search result — is deterministic either way;
+        simulations are bit-identical by the dispatch-substrate and
+        backend contracts.
+    eval_backend:
+        Where batch simulations execute: an
+        :class:`~repro.core.backends.EvaluationBackend` instance or
+        registry name (``"serial"``/``"thread"``/``"process"``); None
+        (default) defers to the evaluator's configured backend, falling
+        back to the thread backend.  ``"process"`` sidesteps the GIL on
+        the scalar dispatch substrates (heterogeneous pools); every
+        backend replays the same golden search sequence bit-for-bit.
+    eval_workers:
+        Worker count for ``eval_backend`` (None = CPU-derived default;
+        meaningless without batching).
     stream:
         Lattice regime for the acquisition argmax: ``"auto"`` (default)
         streams block-wise only when the lattice exceeds
@@ -147,6 +160,8 @@ class RibbonOptimizer(SearchStrategy):
         batch_size: int = 1,
         proposal_engine: str | ProposalEngine | None = None,
         batch_parallel: bool = True,
+        eval_backend=None,
+        eval_workers: int | None = None,
         stream: str = "auto",
         stream_block_size: int | None = None,
     ):
@@ -176,6 +191,13 @@ class RibbonOptimizer(SearchStrategy):
             proposal_engine, self.batch_size
         )
         self.batch_parallel = bool(batch_parallel)
+        if eval_workers is not None and int(eval_workers) < 1:
+            raise ValueError(f"eval_workers must be >= 1, got {eval_workers!r}")
+        # Resolved once: a sweep's per-seed strategies each resolve their
+        # own backend, but within one search the instance (and so any
+        # process pool) persists across every batch.
+        self.eval_backend = resolve_backend(eval_backend, eval_workers)
+        self.eval_workers = None if eval_workers is None else int(eval_workers)
         self.stream = stream
         self.stream_block_size = stream_block_size
         self.prune_threshold = float(prune_threshold)
@@ -258,6 +280,10 @@ class RibbonOptimizer(SearchStrategy):
         # initial design included — reports the full metadata set.
         budget.metadata["proposal_engine"] = engine.name
         budget.metadata["acquisition_streamed"] = ctx.lattice.streaming
+        effective_backend = self.eval_backend or evaluator.eval_backend
+        budget.metadata["eval_backend"] = (
+            effective_backend.name if effective_backend is not None else "thread"
+        )
         n_batches = 0
         try:
             # ---- initial design ---------------------------------------------
@@ -293,6 +319,7 @@ class RibbonOptimizer(SearchStrategy):
                 init_records = budget.evaluate_batch(
                     init_pools,
                     parallel=self.batch_parallel and len(init_pools) > 1,
+                    backend=self.eval_backend,
                 )
                 for pool, rec in zip(init_pools, init_records):
                     if rec is None:
@@ -315,7 +342,9 @@ class RibbonOptimizer(SearchStrategy):
                 n_batches += 1
                 pools = [space.pool(ctx.counts_at(i)) for i in proposals]
                 records = budget.evaluate_batch(
-                    pools, parallel=self.batch_parallel and len(pools) > 1
+                    pools,
+                    parallel=self.batch_parallel and len(pools) > 1,
+                    backend=self.eval_backend,
                 )
                 hit_budget = False
                 patience_hit = False

@@ -141,6 +141,7 @@ class Budget:
         *,
         parallel: bool = False,
         max_workers: int | None = None,
+        backend=None,
     ) -> list[EvaluationRecord | None]:
         """Evaluate a proposed batch; one entry per pool, in order.
 
@@ -149,10 +150,12 @@ class Budget:
         budget is exhausted), new ones consume budget, and each new pool
         beyond the remaining budget maps to ``None`` — except that with
         ``parallel=True`` the simulations of the batch's new
-        configurations run concurrently on a thread pool (see
-        :meth:`ConfigurationEvaluator.evaluate_many`).  Record order,
-        sample indices and all accounting stay deterministic regardless
-        of parallelism, so batched searches replay bit-for-bit.
+        configurations run concurrently on an evaluation backend (see
+        :meth:`ConfigurationEvaluator.evaluate_many`; ``backend`` routes
+        to a specific :class:`~repro.core.backends.EvaluationBackend` or
+        registry name, default thread).  Record order, sample indices
+        and all accounting stay deterministic regardless of parallelism
+        and backend, so batched searches replay bit-for-bit.
         """
         pools = list(pools)
         # Disposition per pool, mirroring per-pool evaluate(): "free" for
@@ -173,6 +176,7 @@ class Budget:
                 [p for p, d in zip(pools, dispositions) if d is not None],
                 parallel=parallel,
                 max_workers=max_workers,
+                backend=backend,
             )
         )
         out: list[EvaluationRecord | None] = []

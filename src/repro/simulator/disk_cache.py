@@ -1,0 +1,375 @@
+"""Disk tier of the simulation result memo: survive the process.
+
+The in-memory :class:`~repro.simulator.result_cache.SimulationResultCache`
+keys entries on *object identity* (``id(model), id(trace), ...``) — the
+right key for live objects, and self-invalidating: an entry cannot outlive
+the objects it describes.  Identity obviously cannot cross a process
+boundary, so the disk tier re-keys entries by *content*:
+
+``result_key(model, trace, families, counts, track_queue)``
+    A sha256 over everything the simulation is a function of — the
+    model's service-latency coefficients and noise sigmas, the trace's
+    arrival/batch arrays and seed (the lognormal noise is keyed on it),
+    the pool vector and the ``track_queue`` flag.  Two different live
+    objects with equal content hash equally, so a warm restart of the
+    same sweep hits; any change to the workload changes the digest, so
+    stale entries are unreachable by construction (no TTLs, no explicit
+    invalidation).  Per-object digests are memoized via ``weakref`` so
+    the hashing cost is paid once per live model/trace, not per lookup.
+
+:class:`DiskResultStore` is the SQLite backing (stdlib ``sqlite3``): one
+``results`` table of npz-serialized payloads with a per-row sha256
+checksum, byte-budgeted with least-recently-used eviction.  It is built
+to be *corruption-tolerant* — this cache is a pure accelerator, so any
+damaged state degrades to a miss, never an error:
+
+* a torn/overwritten database file is detected on any operation
+  (``sqlite3.DatabaseError``) and the store resets itself to empty;
+* a row whose payload fails its checksum or fails to deserialize is
+  deleted and reported as a miss;
+* payloads are ``np.savez`` archives (``allow_pickle=False``) — no code
+  execution on load, versioned via a ``format`` field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import sqlite3
+import threading
+import time
+import weakref
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulator.metrics import SimulationResult
+
+__all__ = ["DiskResultStore", "result_key", "workload_digest"]
+
+#: Serialization format version; bumped on any payload layout change so an
+#: old store simply misses instead of deserializing garbage.
+_FORMAT = 1
+
+# -- content digests ----------------------------------------------------------
+# Memoized per live object (id-keyed with a weakref.finalize guard, the
+# same discipline as the identity caches) so repeated lookups for one
+# workload hash only the short combined key, not the trace arrays.
+_DIGESTS: dict[int, str] = {}
+_DIGEST_GUARDED: set[int] = set()
+_DIGEST_LOCK = threading.Lock()
+
+
+def _drop_digest(obj_id: int) -> None:
+    with _DIGEST_LOCK:
+        _DIGESTS.pop(obj_id, None)
+        _DIGEST_GUARDED.discard(obj_id)
+
+
+def _memo_digest(obj, compute) -> str:
+    obj_id = id(obj)
+    with _DIGEST_LOCK:
+        hit = _DIGESTS.get(obj_id)
+        if hit is not None:
+            return hit
+    digest = compute()
+    with _DIGEST_LOCK:
+        if obj_id not in _DIGEST_GUARDED:
+            _DIGEST_GUARDED.add(obj_id)
+            weakref.finalize(obj, _drop_digest, obj_id)
+        return _DIGESTS.setdefault(obj_id, digest)
+
+
+def _model_digest(model) -> str:
+    """sha256 of the model fields service times are a function of."""
+
+    def compute() -> str:
+        profiles = {
+            fam: (prof.base_ms, prof.slope_ms)
+            for fam, prof in sorted(model.profiles.items())
+        }
+        sigma = model.noise_sigma
+        if not isinstance(sigma, (int, float)):
+            sigma = dict(sorted(sigma.items()))
+        payload = json.dumps(
+            {"name": model.name, "profiles": profiles, "noise_sigma": sigma},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    return _memo_digest(model, compute)
+
+
+def _trace_digest(trace) -> str:
+    """sha256 of the trace content the simulation depends on."""
+
+    def compute() -> str:
+        h = hashlib.sha256()
+        h.update(f"seed={trace.seed!r};n={len(trace)};".encode())
+        h.update(np.ascontiguousarray(trace.arrival_s, dtype=np.float64))
+        h.update(np.ascontiguousarray(trace.batch_sizes, dtype=np.int64))
+        return h.hexdigest()
+
+    return _memo_digest(trace, compute)
+
+
+def workload_digest(model, trace) -> str:
+    """Combined content digest of one (model, trace) workload."""
+    return hashlib.sha256(
+        (_model_digest(model) + ":" + _trace_digest(trace)).encode()
+    ).hexdigest()
+
+
+def result_key(model, trace, families, counts, track_queue) -> str:
+    """Content-addressed disk key for one simulation result."""
+    tail = json.dumps(
+        [list(families), list(counts), bool(track_queue), _FORMAT]
+    )
+    return hashlib.sha256(
+        (workload_digest(model, trace) + tail).encode()
+    ).hexdigest()
+
+
+# -- payload (de)serialization ------------------------------------------------
+_ARRAY_FIELDS = (
+    "latency_s",
+    "wait_s",
+    "service_s",
+    "instance_index",
+    "busy_s_per_instance",
+    "queue_len_at_arrival",
+)
+
+
+def _serialize(result: SimulationResult) -> bytes:
+    buf = io.BytesIO()
+    np.savez(
+        buf,
+        format=np.int64(_FORMAT),
+        makespan_s=np.float64(result.makespan_s),
+        instance_family=np.asarray(result.instance_family),
+        **{name: getattr(result, name) for name in _ARRAY_FIELDS},
+    )
+    return buf.getvalue()
+
+
+def _deserialize(blob: bytes) -> SimulationResult:
+    with np.load(io.BytesIO(blob), allow_pickle=False) as z:
+        if int(z["format"]) != _FORMAT:
+            raise ValueError(f"unsupported payload format {int(z['format'])}")
+        return SimulationResult(
+            instance_family=tuple(str(f) for f in z["instance_family"]),
+            makespan_s=float(z["makespan_s"]),
+            **{name: z[name] for name in _ARRAY_FIELDS},
+        )
+
+
+class DiskResultStore:
+    """SQLite-backed, byte-budgeted, corruption-tolerant result store.
+
+    Parameters
+    ----------
+    path:
+        Database file; parent directories are created.  Safe to share
+        across processes (SQLite's own locking serializes writers).
+    max_bytes:
+        Payload byte budget; the least-recently-*used* rows are evicted
+        once exceeded (a warm sweep keeps refreshing what it reads).  A
+        single over-budget entry is kept, mirroring the memory tier.
+
+    Thread-safe; every SQLite error resets the store to empty rather
+    than surfacing (counted in ``stats()["errors"]``).
+    """
+
+    def __init__(self, path: str | os.PathLike, max_bytes: int = 1024 * 1024 * 1024):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        self._path = Path(path)
+        self._max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._conn: sqlite3.Connection | None = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.errors = 0
+        self._total_bytes = 0
+        with self._lock:
+            self._open()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    # -- connection lifecycle (call with the lock held) ----------------------
+    def _open(self) -> None:
+        try:
+            self._open_raw()
+        except sqlite3.DatabaseError:
+            # The file on disk is not (or no longer) a SQLite database —
+            # e.g. a torn write or unrelated file at the path.  The cache
+            # is expendable by definition: start over empty.
+            self._reset()
+
+    def _open_raw(self) -> None:
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self._path, check_same_thread=False)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " key TEXT PRIMARY KEY,"
+            " payload BLOB NOT NULL,"
+            " checksum TEXT NOT NULL,"
+            " nbytes INTEGER NOT NULL,"
+            " last_used REAL NOT NULL)"
+        )
+        self._conn.commit()
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(nbytes), 0) FROM results"
+        ).fetchone()
+        self._total_bytes = int(row[0])
+
+    def _reset(self) -> None:
+        """Torn/corrupt database: drop everything and start empty."""
+        self.errors += 1
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - close rarely fails
+                pass
+            self._conn = None
+        for suffix in ("", "-journal", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self._path}{suffix}")
+            except FileNotFoundError:
+                pass
+        self._open_raw()
+
+    # -- store API -----------------------------------------------------------
+    def get(self, key: str) -> SimulationResult | None:
+        """The stored result for ``key``, or None (miss / damaged row)."""
+        with self._lock:
+            if self._conn is None:  # reopened after close()
+                self._open()
+            try:
+                row = self._conn.execute(
+                    "SELECT payload, checksum FROM results WHERE key = ?",
+                    (key,),
+                ).fetchone()
+                if row is None:
+                    self.misses += 1
+                    return None
+                payload, checksum = row
+                if hashlib.sha256(payload).hexdigest() != checksum:
+                    raise ValueError("payload checksum mismatch")
+                result = _deserialize(payload)
+                self._conn.execute(
+                    "UPDATE results SET last_used = ? WHERE key = ?",
+                    (time.time(), key),
+                )
+                self._conn.commit()
+                self.hits += 1
+                return result
+            except sqlite3.DatabaseError:
+                self._reset()
+                self.misses += 1
+                return None
+            except (ValueError, KeyError, OSError, zipfile.BadZipFile):
+                # One bad row (torn payload, checksum mismatch, format
+                # drift): delete it and miss.
+                self.errors += 1
+                self.misses += 1
+                try:
+                    self._conn.execute(
+                        "DELETE FROM results WHERE key = ?", (key,)
+                    )
+                    self._conn.commit()
+                    self._refresh_total()
+                except sqlite3.DatabaseError:
+                    self._reset()
+                return None
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store one result (first write wins; failures degrade silently)."""
+        blob = _serialize(result)
+        checksum = hashlib.sha256(blob).hexdigest()
+        with self._lock:
+            if self._conn is None:  # reopened after close()
+                self._open()
+            try:
+                cur = self._conn.execute(
+                    "INSERT OR IGNORE INTO results"
+                    " (key, payload, checksum, nbytes, last_used)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (key, blob, checksum, len(blob), time.time()),
+                )
+                if cur.rowcount:
+                    self._total_bytes += len(blob)
+                self._evict_over_budget()
+                self._conn.commit()
+            except sqlite3.DatabaseError:
+                self._reset()
+
+    # (call with the lock held, inside the put transaction)
+    def _evict_over_budget(self) -> None:
+        while self._total_bytes > self._max_bytes:
+            rows = self._conn.execute(
+                "SELECT key, nbytes FROM results ORDER BY last_used ASC LIMIT 2"
+            ).fetchall()
+            if len(rows) < 2:
+                break  # never evict the sole entry
+            key, nbytes = rows[0]
+            self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+            self._total_bytes -= int(nbytes)
+            self.evictions += 1
+
+    def _refresh_total(self) -> None:
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(nbytes), 0) FROM results"
+        ).fetchone()
+        self._total_bytes = int(row[0])
+
+    def stats(self) -> dict[str, int]:
+        """Counters + occupancy (surfaced with a ``disk_`` prefix by
+        :meth:`SimulationResultCache.stats`)."""
+        with self._lock:
+            if self._conn is None:  # reopened after close()
+                self._open()
+            try:
+                entries = int(
+                    self._conn.execute(
+                        "SELECT COUNT(*) FROM results"
+                    ).fetchone()[0]
+                )
+            except sqlite3.DatabaseError:
+                self._reset()
+                entries = 0
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "errors": self.errors,
+                "entries": entries,
+                "bytes": self._total_bytes,
+                "max_bytes": self._max_bytes,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:  # pragma: no cover
+                    pass
+                self._conn = None
+
+    def __enter__(self) -> "DiskResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -29,7 +29,10 @@ Hits, misses, and evictions are counted for introspection
 
 from __future__ import annotations
 
+import os
+
 from repro.simulator._identity_cache import IdentityKeyedCache
+from repro.simulator.disk_cache import DiskResultStore, result_key
 from repro.simulator.metrics import SimulationResult
 
 
@@ -80,13 +83,27 @@ class SimulationResultCache(IdentityKeyedCache):
     (evicting it would only force an immediate re-simulation).
     """
 
-    def __init__(self, maxsize: int = 256, max_bytes: int = 256 * 1024 * 1024):
+    def __init__(
+        self,
+        maxsize: int = 256,
+        max_bytes: int = 256 * 1024 * 1024,
+        *,
+        disk: "DiskResultStore | str | os.PathLike | None" = None,
+    ):
         super().__init__(maxsize)
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes!r}")
         self._max_bytes = int(max_bytes)
         self._nbytes_by_key: dict[tuple, int] = {}
         self._total_bytes = 0
+        # Optional disk tier (opt-in): misses fall through to a
+        # content-addressed DiskResultStore, puts write through, so
+        # identical sweeps survive process restarts.  Disk keys are
+        # content digests (see repro.simulator.disk_cache) — identity
+        # keys cannot cross processes.
+        if disk is not None and not isinstance(disk, DiskResultStore):
+            disk = DiskResultStore(disk)
+        self._disk = disk
 
     @property
     def max_bytes(self) -> int:
@@ -97,11 +114,19 @@ class SimulationResultCache(IdentityKeyedCache):
         """Payload bytes currently held (array buffers of cached results)."""
         return self._total_bytes
 
+    @property
+    def disk(self) -> DiskResultStore | None:
+        """The disk tier backing this cache, or None (memory-only)."""
+        return self._disk
+
     def stats(self) -> dict[str, int]:
         out = super().stats()
         with self._lock:
             out["bytes"] = self._total_bytes
             out["max_bytes"] = self._max_bytes
+        if self._disk is not None:
+            for key, value in self._disk.stats().items():
+                out["disk_" + key] = value
         return out
 
     def clear(self) -> None:
@@ -123,8 +148,24 @@ class SimulationResultCache(IdentityKeyedCache):
     def get(
         self, model, trace, families, counts, track_queue
     ) -> SimulationResult | None:
-        """The memoized result for one simulation, or None on a miss."""
-        return self._lookup(self._key(model, trace, families, counts, track_queue))
+        """The memoized result for one simulation, or None on a miss.
+
+        A memory miss falls through to the disk tier (when configured):
+        a disk hit is promoted into the memory tier — without writing
+        back to disk — and returned frozen, exactly like a locally
+        simulated result.
+        """
+        key = self._key(model, trace, families, counts, track_queue)
+        hit = self._lookup(key)
+        if hit is not None:
+            return hit
+        if self._disk is not None and self._maxsize != 0:
+            stored = self._disk.get(
+                result_key(model, trace, families, counts, track_queue)
+            )
+            if stored is not None:
+                return self._admit(key, stored, model, trace)
+        return None
 
     def put(
         self, model, trace, families, counts, track_queue, result: SimulationResult
@@ -132,12 +173,26 @@ class SimulationResultCache(IdentityKeyedCache):
         """Insert a freshly simulated result; returns the canonical entry.
 
         Insert-if-absent: when two threads race on the same simulation the
-        first stored result wins and both callers observe it.
+        first stored result wins and both callers observe it.  With a
+        disk tier configured the result is also written through (first
+        write wins there too).
         """
         if self._maxsize == 0:
             return result
+        if self._disk is not None:
+            self._disk.put(
+                result_key(model, trace, families, counts, track_queue), result
+            )
+        return self._admit(
+            self._key(model, trace, families, counts, track_queue),
+            result,
+            model,
+            trace,
+        )
+
+    def _admit(self, key, result, model, trace) -> SimulationResult:
+        """Freeze + insert into the memory tier (no disk write)."""
         _freeze(result)
-        key = self._key(model, trace, families, counts, track_queue)
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
