@@ -12,5 +12,10 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy", "scipy"],
     extras_require={"test": ["pytest", "hypothesis"]},
-    entry_points={"console_scripts": ["repro-ribbon=repro.cli:main"]},
+    entry_points={
+        "console_scripts": [
+            "repro-ribbon=repro.cli:main",
+            "repro-lint=repro.devtools.lint.cli:main",
+        ]
+    },
 )

@@ -548,7 +548,10 @@ class ScenarioRunner:
         """
         fam = family if family is not None else self.scenario.profile.homogeneous_family
         key = (fam, self.scenario.trace_seed(seed), int(max_count))
-        hit = self._homogeneous.get(key)
+        # Runners are shared across threads (runner_for, the job manager),
+        # so the memo follows the same lock discipline as _materialized.
+        with self._lock:
+            hit = self._homogeneous.get(key)
         if hit is not None:
             return hit
         single = replace(
@@ -582,8 +585,10 @@ class ScenarioRunner:
                 f"{self.scenario.qos_target_ms:g} ms QoS for {self.scenario.model}; "
                 f"the workload is beyond the searchable capacity"
             )
-        self._homogeneous[key] = record
-        return record
+        # Insert-if-absent under the lock: scans are deterministic, so when
+        # two threads race the first stored record stays canonical.
+        with self._lock:
+            return self._homogeneous.setdefault(key, record)
 
     def default_start(self, *, seed: int = 0) -> PoolConfiguration:
         """The paper's common start point for every strategy.

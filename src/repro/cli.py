@@ -9,6 +9,7 @@ Examples::
     repro-ribbon strategies           # list the registered strategies
     repro-ribbon fig10 --models MT-WND DIEN
     repro-ribbon serve --port 8765 --snapshot-dir ./snapshots
+    repro-ribbon lint src/               # project-invariant static analysis
 
 Every figure/table of the paper's evaluation has a matching subcommand; the
 heavy experiments accept ``--queries`` and ``--seeds`` to trade fidelity for
@@ -215,6 +216,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def _cmd_strategies(args: argparse.Namespace) -> int:
     rows = []
     for name in available_strategies():
@@ -352,11 +359,28 @@ def build_parser() -> argparse.ArgumentParser:
     pl = sub.add_parser("strategies", help="list the registered strategies")
     pl.set_defaults(func=_cmd_strategies)
 
+    # Listed for --help only; main() hands `lint ...` to the repro-lint
+    # parser before argparse runs, so its own flags (--format, --list-rules)
+    # pass through untouched.
+    pt = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer (repro-lint)",
+        add_help=False,
+    )
+    pt.add_argument("lint_args", nargs=argparse.REMAINDER)
+    pt.set_defaults(func=_cmd_lint)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.devtools.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

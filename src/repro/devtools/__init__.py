@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the library but never runs on the
+search path: the :mod:`repro.devtools.lint` project-invariant static
+analyzer lives here.  Nothing under ``devtools`` may be imported by
+``repro.core``, ``repro.simulator``, ``repro.gp``, ``repro.api`` or
+``repro.service`` — the tools observe the library, not the reverse.
+"""

@@ -1,0 +1,50 @@
+"""Finding records and output formatting for repro-lint.
+
+A :class:`Finding` is one diagnostic anchored to a source location; the
+two emitters (`text`, the default ``file:line:col RULE message`` stream,
+and `json`, the CI artifact format) render a sorted list of them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, and why it fired."""
+
+    path: str  # repo-relative, posix separators
+    line: int  # 1-based
+    col: int  # 0-based (ast convention)
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+
+def format_text(findings: list[Finding]) -> str:
+    lines = [f.render() for f in sorted(findings)]
+    lines.append(
+        f"repro-lint: {len(findings)} finding(s)"
+        if findings
+        else "repro-lint: clean"
+    )
+    return "\n".join(lines)
+
+
+def format_json(findings: list[Finding], *, checked_files: int) -> str:
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    return json.dumps(
+        {
+            "findings": [asdict(f) for f in sorted(findings)],
+            "counts": dict(sorted(by_rule.items())),
+            "total": len(findings),
+            "checked_files": checked_files,
+        },
+        indent=2,
+    )

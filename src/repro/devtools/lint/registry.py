@@ -1,0 +1,90 @@
+"""Rule registry: declaration, lookup, and registration decorator.
+
+A rule is a named check with a family, a human rationale (which invariant
+it guards, and which PR introduced that invariant), and exactly one of:
+
+* ``check(module, config)`` — a per-module pass over one parsed file;
+* ``project_check(modules, config)`` — a whole-project pass that sees
+  every parsed file at once (cross-module invariants such as the
+  cache-key completeness cross-reference).
+
+Rules register themselves at import time via :func:`rule`; the engine
+imports :mod:`repro.devtools.lint.rules` once and iterates the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    family: str
+    description: str
+    rationale: str
+    check: Callable | None = None
+    project_check: Callable | None = None
+
+    def __post_init__(self) -> None:
+        if (self.check is None) == (self.project_check is None):
+            raise ValueError(
+                f"rule {self.name!r} must define exactly one of"
+                " check/project_check"
+            )
+
+
+def rule(
+    name: str,
+    *,
+    family: str,
+    description: str,
+    rationale: str,
+    project: bool = False,
+):
+    """Decorator registering ``fn`` as the named rule's check."""
+
+    def decorate(fn: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate rule name {name!r}")
+        _REGISTRY[name] = Rule(
+            name=name,
+            family=family,
+            description=description,
+            rationale=rationale,
+            check=None if project else fn,
+            project_check=fn if project else None,
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_registered() -> None:
+    # Import-for-side-effect; at call time the circular edge back to this
+    # module is already resolved.
+    import repro.devtools.lint.rules  # noqa: F401
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by (family, name)."""
+    _ensure_registered()
+    return tuple(
+        sorted(_REGISTRY.values(), key=lambda r: (r.family, r.name))
+    )
+
+
+def families() -> tuple[str, ...]:
+    _ensure_registered()
+    return tuple(sorted({r.family for r in _REGISTRY.values()}))
+
+
+def get(name: str) -> Rule:
+    return _REGISTRY[name]
+
+
+def rule_names() -> Iterable[str]:
+    return _REGISTRY.keys()

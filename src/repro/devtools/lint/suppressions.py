@@ -1,0 +1,120 @@
+"""Per-line suppressions: ``# repro-lint: disable=<rule>(<reason>)``.
+
+Every suppression must carry a justification — the reason is the audit
+trail that makes a silenced invariant reviewable.  A bare
+``disable=<rule>`` (or an empty reason) is itself a finding
+(``suppression-missing-reason``) that no suppression can silence.
+
+A suppression applies to findings on its own physical line; a
+comment-*only* suppression line additionally covers the next line, so
+wide statements can keep the justification above them::
+
+    # repro-lint: disable=wall-clock(LRU recency bookkeeping, never keyed)
+    row = (time.time(), key)
+
+Multiple rules on one line: ``disable=rule-a(why a),rule-b(why b)``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.devtools.lint.findings import Finding
+
+_MARKER = re.compile(r"#\s*repro-lint:\s*disable=(?P<items>.*)$")
+_ITEM = re.compile(r"\s*(?P<rule>[A-Za-z0-9_-]+)\s*(?:\((?P<reason>[^()]*)\))?\s*(?:,|$)")
+
+
+@dataclass
+class Suppressions:
+    """Suppression table for one module."""
+
+    #: line -> {rule name -> reason}
+    by_line: dict[int, dict[str, str]] = field(default_factory=dict)
+    #: malformed suppressions (missing/empty reason), as findings
+    malformed: list[Finding] = field(default_factory=list)
+
+    def covers(self, line: int, rule: str) -> bool:
+        rules = self.by_line.get(line)
+        return rules is not None and rule in rules
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str, bool]]:
+    """(line, col, comment text, comment-only line) for every comment.
+
+    Tokenized, not regex-over-lines: a docstring *describing* the
+    suppression syntax must not register as a suppression.
+    """
+    out: list[tuple[int, int, str, bool]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out  # unparsable tail: the engine reports it separately
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            line, col = tok.start
+            alone = tok.line[:col].strip() == ""
+            out.append((line, col, tok.string, alone))
+    return out
+
+
+def scan(relpath: str, source: str) -> Suppressions:
+    """Parse all suppression comments of one module's source text."""
+    table = Suppressions()
+    for lineno, col, text, comment_only in _comment_tokens(source):
+        marker = _MARKER.search(text)
+        if marker is None:
+            continue
+        entries: dict[str, str] = {}
+        items = marker.group("items").strip()
+        pos = 0
+        matched_any = False
+        while pos < len(items):
+            item = _ITEM.match(items, pos)
+            if item is None or item.end() == pos:
+                break
+            matched_any = True
+            pos = item.end()
+            rule = item.group("rule")
+            reason = (item.group("reason") or "").strip()
+            if not reason:
+                table.malformed.append(
+                    Finding(
+                        path=relpath,
+                        line=lineno,
+                        col=col + marker.start(),
+                        rule="suppression-missing-reason",
+                        message=(
+                            f"suppression of {rule!r} has no justification;"
+                            f" write disable={rule}(<why this is safe>)"
+                        ),
+                    )
+                )
+                continue
+            entries[rule] = reason
+        if not matched_any:
+            table.malformed.append(
+                Finding(
+                    path=relpath,
+                    line=lineno,
+                    col=col + marker.start(),
+                    rule="suppression-missing-reason",
+                    message=(
+                        "malformed suppression; expected"
+                        " disable=<rule>(<reason>)"
+                    ),
+                )
+            )
+        if not entries:
+            continue
+        slot = table.by_line.setdefault(lineno, {})
+        slot.update(entries)
+        # A comment-only line shields the statement underneath it.
+        if comment_only:
+            below = table.by_line.setdefault(lineno + 1, {})
+            for rule, reason in entries.items():
+                below.setdefault(rule, reason)
+    return table

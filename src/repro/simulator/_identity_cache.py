@@ -35,6 +35,21 @@ import weakref
 from collections import OrderedDict
 from typing import Any
 
+#: When true, every internal mutation helper asserts that the calling
+#: thread holds ``self._lock`` — the runtime counterpart of repro-lint's
+#: ``lock-discipline`` rule.  Off by default (the check costs an RLock
+#: introspection per mutation); ``tests/test_race_stress.py`` turns it on
+#: while hammering the caches from many threads.
+ASSERT_LOCK_HELD = False
+
+
+def set_lock_assertions(enabled: bool) -> bool:
+    """Toggle the debug lock assertions; returns the previous setting."""
+    global ASSERT_LOCK_HELD
+    previous = ASSERT_LOCK_HELD
+    ASSERT_LOCK_HELD = bool(enabled)
+    return previous
+
 
 class IdentityKeyedCache:
     """Base for caches keyed on ``(id(model), id(trace), ...)`` tuples."""
@@ -86,6 +101,21 @@ class IdentityKeyedCache:
             # (still live) objects and must not be stacked again.
 
     # -- internals ----------------------------------------------------------
+    def _assert_lock_held(self) -> None:
+        """Debug guard: the caller must hold ``self._lock``.
+
+        ``RLock._is_owned`` is CPython-internal; on runtimes without it
+        the check degrades to a no-op rather than failing spuriously.
+        """
+        if not ASSERT_LOCK_HELD:
+            return
+        is_owned = getattr(self._lock, "_is_owned", None)
+        if is_owned is not None and not is_owned():
+            raise AssertionError(
+                f"{type(self).__name__} internal mutation without holding"
+                " self._lock"
+            )
+
     def _lookup(self, key: tuple) -> Any | None:
         """Hit path: the entry (with LRU recency + counters) or None.
 
@@ -116,6 +146,7 @@ class IdentityKeyedCache:
         both callers observe it (entries are value-deterministic, but one
         canonical object keeps the memory bound meaningful).
         """
+        self._assert_lock_held()
         assert len(participants) == 2 and key[0] == id(participants[0]) and key[
             1
         ] == id(participants[1]), "keys must lead with the two participants' ids"
@@ -142,6 +173,7 @@ class IdentityKeyedCache:
         """Hook: an entry left the cache; drop any side-table views of it."""
 
     def _track(self, obj, key: tuple) -> None:
+        self._assert_lock_held()
         keys = self._keys_by_id.setdefault(id(obj), set())
         if id(obj) not in self._finalized_ids:
             # First sighting of this object: drop all its keys when it dies.
@@ -153,6 +185,7 @@ class IdentityKeyedCache:
         keys.add(key)
 
     def _untrack(self, key: tuple) -> None:
+        self._assert_lock_held()
         for obj_id in (key[0], key[1]):
             keys = self._keys_by_id.get(obj_id)
             if keys is not None:
@@ -162,6 +195,7 @@ class IdentityKeyedCache:
 
     def _drop_id(self, obj_id: int) -> None:
         with self._lock:
+            self._assert_lock_held()
             self._finalized_ids.discard(obj_id)
             for key in self._keys_by_id.pop(obj_id, ()):
                 if self._entries.pop(key, None) is not None:

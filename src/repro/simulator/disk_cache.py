@@ -270,6 +270,7 @@ class DiskResultStore:
                 result = _deserialize(payload)
                 self._conn.execute(
                     "UPDATE results SET last_used = ? WHERE key = ?",
+                    # repro-lint: disable=wall-clock(LRU recency bookkeeping only; last_used orders eviction and never reaches a key or result)
                     (time.time(), key),
                 )
                 self._conn.commit()
@@ -306,6 +307,7 @@ class DiskResultStore:
                     "INSERT OR IGNORE INTO results"
                     " (key, payload, checksum, nbytes, last_used)"
                     " VALUES (?, ?, ?, ?, ?)",
+                    # repro-lint: disable=wall-clock(LRU recency bookkeeping only; last_used orders eviction and never reaches a key or result)
                     (key, blob, checksum, len(blob), time.time()),
                 )
                 if cur.rowcount:

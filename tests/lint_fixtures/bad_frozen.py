@@ -1,0 +1,13 @@
+"""Fixture: writes into a shared frozen SimulationResult."""
+
+
+def corrupt(result):
+    result.makespan_s = 0.0
+    result.latency_s[0] = 0.0
+    result.wait_s += 1.0
+
+
+def thaw(result):
+    result.latency_s.setflags(write=True)
+    result.service_s.flags.writeable = True
+    object.__setattr__(result, "busy_s_per_instance", None)

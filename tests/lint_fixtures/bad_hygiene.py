@@ -1,0 +1,22 @@
+"""Fixture: bare except, mutable default, stray print."""
+
+
+def swallow():
+    try:
+        return 1
+    except:
+        return None
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def merge(extra, seen=dict()):
+    seen.update(extra)
+    return seen
+
+
+def announce(message):
+    print(message)

@@ -1,0 +1,16 @@
+"""Fixture: object identity flowing into hashes and serialized payloads."""
+
+import hashlib
+import json
+
+
+def digest_of(model):
+    return hashlib.sha256(str(id(model)).encode()).hexdigest()
+
+
+def feed(hasher, trace):
+    hasher.update(str(id(trace)).encode())
+
+
+def payload(obj):
+    return json.dumps({"object": id(obj)})

@@ -1,0 +1,19 @@
+"""Fixture: a lock-owning class mutating private state unlocked."""
+
+import threading
+
+
+class UnlockedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = []
+        self._total = 0
+
+    def record(self, value):
+        self._events.append(value)
+        self._total += value
+
+    def reset(self):
+        if self._events:
+            self._events.clear()
+        del self._total

@@ -1,0 +1,14 @@
+"""Fixture: unordered iteration inside key-deriving functions."""
+
+
+def identity_of(parts, tags):
+    out = []
+    for tag in {t for t in tags}:
+        out.append(tag)
+    for name, value in parts.items():
+        out.append((name, value))
+    return tuple(out)
+
+
+def fingerprint(table):
+    return [k for k in table.keys()]

@@ -1,0 +1,20 @@
+"""Fixture disk key: digests covering profiles/name and seed only."""
+
+import hashlib
+
+
+def _model_digest(model):
+    h = hashlib.sha256()
+    h.update(model.profiles.tobytes())
+    h.update(model.name.encode())
+    return h.hexdigest()
+
+
+def _trace_digest(trace):
+    h = hashlib.sha256()
+    h.update(str(trace.seed).encode())
+    return h.hexdigest()
+
+
+def result_key(model, trace):
+    return _model_digest(model) + ":" + _trace_digest(trace)

@@ -1,0 +1,12 @@
+"""Fixture engine: dispatch-path reads, one of them missing from the key."""
+
+
+class Engine:
+    def __init__(self, model):
+        self._model = model
+
+    def dispatch(self, trace):
+        profiles = self._model.profiles
+        knob = self._model.max_batch
+        seed = trace.seed
+        return profiles, knob, seed

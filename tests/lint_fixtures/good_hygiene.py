@@ -1,0 +1,15 @@
+"""Fixture: the compliant forms of the hygiene rules."""
+
+
+def swallow():
+    try:
+        return 1
+    except ValueError:
+        return None
+
+
+def accumulate(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

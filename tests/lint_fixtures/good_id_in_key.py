@@ -1,0 +1,15 @@
+"""Fixture: content-addressed digests; identity keys stay in memory."""
+
+import hashlib
+
+
+def digest_of(model):
+    h = hashlib.sha256()
+    h.update(model.profiles.tobytes())
+    h.update(model.name.encode())
+    return h.hexdigest()
+
+
+def memory_key(model, trace):
+    # In-memory identity keys are fine: they are weakref-invalidated.
+    return (id(model), id(trace))

@@ -1,0 +1,24 @@
+"""Fixture: the same class with its mutations under the lock."""
+
+import threading
+
+
+class LockedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = []
+        self._total = 0
+
+    def record(self, value):
+        with self._lock:
+            self._events.append(value)
+            self._total += value
+
+    def snapshot(self):
+        with self._lock:
+            return (tuple(self._events), self._total)
+
+    def _locked_reset(self):
+        # Private helper: documents a "call with the lock held" contract.
+        self._events.clear()
+        self._total = 0

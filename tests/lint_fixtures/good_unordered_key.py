@@ -1,0 +1,13 @@
+"""Fixture: canonicalized iteration inside key-deriving functions."""
+
+
+def identity_of(parts, tags):
+    out = list(sorted(set(tags)))
+    for name, value in sorted(parts.items()):
+        out.append((name, value))
+    return tuple(out)
+
+
+def walk_all(table):
+    # Not a key-deriving function: unordered iteration is fine here.
+    return [v for v in table.values()]

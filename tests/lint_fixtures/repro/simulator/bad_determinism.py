@@ -1,0 +1,31 @@
+"""Fixture: clock reads and unseeded RNG inside the determinism scope."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def elapsed():
+    return time.perf_counter()
+
+
+def when():
+    return datetime.now()
+
+
+def jitter():
+    return random.random()
+
+
+def fresh_rng():
+    return np.random.default_rng()
+
+
+def legacy_draw():
+    return np.random.rand(3)

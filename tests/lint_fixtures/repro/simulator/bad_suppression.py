@@ -1,0 +1,7 @@
+"""Fixture: a suppression without a justification silences nothing."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=wall-clock

@@ -1,0 +1,11 @@
+"""Fixture: the compliant forms — explicit seeds, no clock reads."""
+
+import numpy as np
+
+
+def seeded_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def draws(seed, n):
+    return np.random.default_rng(np.random.SeedSequence(seed)).normal(size=n)

@@ -1,0 +1,12 @@
+"""Fixture: justified suppressions, inline and comment-above."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=wall-clock(fixture: deliberate bookkeeping read, never keyed)
+
+
+def wide_stamp():
+    # repro-lint: disable=wall-clock(fixture: comment-above form covers the next line)
+    return time.time()
