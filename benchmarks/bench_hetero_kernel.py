@@ -1,0 +1,228 @@
+"""Heterogeneous-pool vector kernel vs the heap path (repo infrastructure).
+
+Times the grouped-family fixpoint kernel
+(:mod:`repro.simulator.hetero_kernel`) against the heap dispatcher on
+mixed 2-5 family pools at several sizes and offered loads, on the same
+memo-disabled simulator, trace and warmed service cache, so the ratio
+isolates the dispatch substrate.
+
+``BENCH_hetero_kernel.json`` records the trajectory in the shared
+artifact format (see :mod:`_artifact`): the pinned workload spec,
+per-shape wall times and speedups, and an append-only history.  The
+bench
+
+* asserts the vector results are **bit-identical** to the heap path on
+  every ``SimulationResult`` field for every shape — including the
+  5-family mix and a below-crossover pool the kernel never wins on,
+* asserts engagement via the dispatch counters: forced vector runs the
+  grouped-family kernel (``vector_hetero``) with zero fallbacks on every
+  shape, the ``auto`` policy engages it on its own past the measured
+  pool-size crossover (``_VECTOR_HETERO_MIN_POOL``), and below the floor
+  ``auto`` stays scalar while counting ``vector_fallback_crossover``,
+* enforces the headline speedup target on the recording host: >= 1.5x
+  over the heap on a saturated 128-instance three-family mix (measured
+  ~1.7x; the labelled fixpoint pays a few sort rounds per pool turnover
+  plus per-query service gathers by family label, so — like the
+  homogeneous kernel, only more so — its advantage grows with pool size,
+  which is exactly why the ``auto`` crossover sits at 64 instances).
+
+CI runs this bench with ``BENCH_HETERO_SMOKE=1``: a shrunken trace,
+bit-identity and engagement asserts only (wall-clock ratios against
+another host's baseline are meaningless there).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+
+import numpy as np
+import pytest
+from _artifact import BenchArtifact
+
+from repro.models.zoo import get_model
+from repro.simulator.engine import InferenceServingSimulator
+from repro.simulator.pool import PoolConfiguration
+from repro.simulator.result_cache import SimulationResultCache
+from repro.simulator.service import ServiceTimeCache
+from repro.workload.trace import trace_for_model
+
+HEADLINE_SPEEDUP_TARGET = 1.5
+MEASURE_PASSES = 9
+
+SMOKE = os.environ.get("BENCH_HETERO_SMOKE") == "1"
+
+#: Pinned on first run; never rewritten by recordings.  Loads are offered
+#: in multiples of the model's calibrated rate — every shape but the
+#: below-floor control sits deep in saturation (offered Erlangs well past
+#: the pool size), the regime the saturated-block solver exists for.
+_WORKLOAD = {
+    "model": "MT-WND",
+    "n_queries": 4000,
+    "trace_seed": 1,
+    "recorded_host": platform.node(),
+    "headline_shape": "mix3_m128",
+    "shapes": {
+        "mix2_m64": {
+            "families": ["g4dn", "c5"],
+            "counts": [32, 32],
+            "load_factor": 40.0,
+            "auto_engages": True,
+        },
+        "mix3_m96": {
+            "families": ["g4dn", "c5", "r5n"],
+            "counts": [32, 32, 32],
+            "load_factor": 60.0,
+            "auto_engages": True,
+        },
+        "mix3_m128": {
+            "families": ["g4dn", "c5", "r5n"],
+            "counts": [64, 32, 32],
+            "load_factor": 90.0,
+            "auto_engages": True,
+        },
+        "mix5_m160": {
+            "families": ["g4dn", "c5", "m5", "r5n", "t3"],
+            "counts": [32, 32, 32, 32, 32],
+            "load_factor": 80.0,
+            "auto_engages": True,
+        },
+        "mix3_m24_below_floor": {
+            "families": ["g4dn", "c5", "r5n"],
+            "counts": [8, 8, 8],
+            "load_factor": 40.0,
+            "auto_engages": False,
+        },
+    },
+}
+
+
+def _assert_identical(a, b, tag):
+    np.testing.assert_array_equal(a.latency_s, b.latency_s, err_msg=f"{tag} latency")
+    np.testing.assert_array_equal(a.wait_s, b.wait_s, err_msg=f"{tag} wait")
+    np.testing.assert_array_equal(a.service_s, b.service_s, err_msg=f"{tag} service")
+    np.testing.assert_array_equal(
+        a.instance_index, b.instance_index, err_msg=f"{tag} instance"
+    )
+    np.testing.assert_array_equal(
+        a.busy_s_per_instance, b.busy_s_per_instance, err_msg=f"{tag} busy"
+    )
+    np.testing.assert_array_equal(
+        a.queue_len_at_arrival, b.queue_len_at_arrival, err_msg=f"{tag} queue"
+    )
+    assert a.makespan_s == b.makespan_s, f"{tag} makespan"
+
+
+def _best_of(fn, passes):
+    best = float("inf")
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def hetero_ctx():
+    artifact = BenchArtifact("BENCH_hetero_kernel.json")
+    artifact.ensure_section("workload", _WORKLOAD)
+    spec = dict(artifact.workload)
+    if SMOKE:
+        spec["n_queries"] = 800
+    model = get_model(spec["model"])
+    service = ServiceTimeCache()
+    shapes = {}
+    for shape, shape_spec in spec["shapes"].items():
+        trace = trace_for_model(
+            model,
+            n_queries=spec["n_queries"],
+            seed=spec["trace_seed"],
+            load_factor=shape_spec["load_factor"],
+        )
+        pool = PoolConfiguration(
+            tuple(shape_spec["families"]), tuple(shape_spec["counts"])
+        )
+        shapes[shape] = (trace, pool, bool(shape_spec["auto_engages"]))
+    return spec, model, service, shapes
+
+
+def _sims(model, service):
+    # Memo disabled: this bench times the dispatch substrates themselves.
+    return {
+        d: InferenceServingSimulator(
+            model,
+            dispatch=d,
+            service_cache=service,
+            result_cache=SimulationResultCache(maxsize=0),
+        )
+        for d in ("heap", "vector", "auto")
+    }
+
+
+def test_perf_hetero_kernel(benchmark, hetero_ctx):
+    spec, model, service, shapes = hetero_ctx
+    walls: dict[str, dict[str, float]] = {}
+
+    for shape, (trace, pool, auto_engages) in shapes.items():
+        sims = _sims(model, service)
+        heap_res = sims["heap"].simulate(trace, pool)  # also warms the cache
+        vec_res = sims["vector"].simulate(trace, pool)
+        auto_res = sims["auto"].simulate(trace, pool)
+
+        # Bit-identical contract, every result field, every shape.
+        _assert_identical(vec_res, heap_res, shape)
+        _assert_identical(auto_res, heap_res, f"{shape} (auto)")
+
+        # Engagement: forced vector ran the grouped-family kernel with no
+        # fallback of any reason; auto engaged it exactly where the
+        # measured crossover says it should, and counted the crossover
+        # disengagement where it should not.
+        forced = sims["vector"].dispatch_counts
+        assert forced["vector_hetero"] == 1, shape
+        assert forced["vector_fallback"] == 0, shape
+        auto_counts = sims["auto"].dispatch_counts
+        if auto_engages:
+            assert auto_counts["vector_hetero"] == 1, f"{shape} auto"
+            assert auto_counts["vector_fallback"] == 0, f"{shape} auto"
+        else:
+            assert auto_counts["vector_hetero"] == 0, f"{shape} auto"
+            assert auto_counts["vector_fallback_crossover"] == 1, f"{shape} auto"
+
+        if not SMOKE:
+            walls[shape] = {
+                "heap_wall_s": _best_of(
+                    lambda: sims["heap"].simulate(trace, pool), MEASURE_PASSES
+                ),
+                "vector_wall_s": _best_of(
+                    lambda: sims["vector"].simulate(trace, pool), MEASURE_PASSES
+                ),
+            }
+
+    def run_all():
+        sims = _sims(model, service)
+        for trace, pool, _ in shapes.values():
+            sims["vector"].simulate(trace, pool)
+
+    benchmark.pedantic(run_all, rounds=1 if SMOKE else 3, iterations=1)
+
+    if SMOKE:
+        return  # shrunken workload: timings not comparable, nothing recorded
+
+    artifact = BenchArtifact("BENCH_hetero_kernel.json")
+    recording = {
+        shape: {**w, "speedup_vs_heap": w["heap_wall_s"] / w["vector_wall_s"]}
+        for shape, w in walls.items()
+    }
+    headline = spec["headline_shape"]
+    artifact.record(
+        **recording,
+        headline_shape=headline,
+        headline_speedup=recording[headline]["speedup_vs_heap"],
+    )
+    artifact.enforce_speedup(
+        recording[headline]["speedup_vs_heap"],
+        HEADLINE_SPEEDUP_TARGET,
+        baseline_host=artifact.workload["recorded_host"],
+        label=f"heterogeneous-pool vector kernel vs heap path ({headline})",
+    )

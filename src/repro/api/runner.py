@@ -329,9 +329,11 @@ class ScenarioRunner:
 
     def dispatch_counts(self) -> dict[str, int]:
         """Per-substrate dispatch run counts across this runner's
-        evaluators and their forks (``linear``/``heap``/``vector`` plus
-        ``vector_fallback``; result-memo hits never dispatch, so warmed
-        sweeps can legitimately report zeros)."""
+        evaluators and their forks
+        (``linear``/``heap``/``vector``/``vector_hetero`` plus the
+        aggregate ``vector_fallback`` and its ``vector_fallback_*``
+        reason split; result-memo hits never dispatch, so warmed sweeps
+        can legitimately report zeros)."""
         return self._dispatch_counters.snapshot()
 
     def cache_stats(self) -> dict[str, dict[str, int]]:

@@ -30,7 +30,7 @@ Performance notes (per the profiling-first HPC guidance this repo follows):
   engine is deterministic per ``(model, trace, pool)``, so re-simulating
   a configuration another seed/fork already served returns the stored
   :class:`SimulationResult` without touching the dispatch loop;
-* dispatch runs on one of three substrates, all bit-identical
+* dispatch runs on one of four substrates, all bit-identical
   (property-tested against each other and the event-heap reference):
 
   - ``linear`` — the O(n·m) scalar scan; O(1) per query on underloaded
@@ -47,18 +47,23 @@ Performance notes (per the profiling-first HPC guidance this repo follows):
     win: the scalar loops floor at ~0.5 us/query where the kernel runs at
     ~0.05); homogeneous pools run the pop-multiset fixpoint, whose
     advantage grows with pool size because the m-server merge has an
-    irreducible *generation depth* (one sort round per pool turnover).
-    Heterogeneous pools have no shared busy-period structure, so
-    ``dispatch="vector"`` falls back to the heap path for them (counted
-    in the dispatch stats);
+    irreducible *generation depth* (one sort round per pool turnover);
+  - ``vector`` on a *heterogeneous* pool — the grouped-family labelled
+    fixpoint of :mod:`repro.simulator.hetero_kernel`, which merges the
+    per-family clock multisets exactly and gathers each query's service
+    by its chosen family (counted as ``vector_hetero`` in the dispatch
+    stats; its crossover against the heap sits higher than the
+    homogeneous kernel's because every round pays a labelled gather);
 
   ``auto`` picks per simulation from the pool shape and the offered load
   (arrival rate x mean service time, from the cached matrix): vector for
-  single-instance pools and for large saturated homogeneous pools, the
-  heap when offered load keeps most of a big pool busy, the scan
-  otherwise.  Per-path engagement counts are kept on the simulator and
-  process-wide (:func:`global_dispatch_counters`), so benches can assert
-  the substrate they mean to measure actually engaged;
+  single-instance pools and for large saturated pools (homogeneous and
+  heterogeneous, each past its own measured size floor), the heap when
+  offered load keeps most of a big pool busy, the scan otherwise.
+  Per-path engagement counts are kept on the simulator and process-wide
+  (:func:`global_dispatch_counters`), with vector *disengagements* split
+  by reason, so benches can assert the substrate they mean to measure
+  actually engaged;
 * the waiting-queue tracker exploits that FCFS start times are monotone
   non-decreasing: the queue length seen by arrival q is exactly
   ``q - #{j < q : start_j <= t_q}``, maintained by one moving pointer over
@@ -81,6 +86,7 @@ from repro.simulator.result_cache import (
     shared_simulation_cache,
 )
 from repro.simulator.service import ServiceTimeCache, shared_service_cache
+from repro.simulator.hetero_kernel import heterogeneous_pool
 from repro.simulator.vector_kernel import homogeneous_pool, lindley_single
 from repro.workload.trace import QueryTrace
 
@@ -106,21 +112,56 @@ _VECTOR_MIN_POOL = 32
 #: degrades to scalar steps when arrivals keep finding free instances.
 _VECTOR_MIN_OCCUPANCY = 1.0
 
+#: Minimum heterogeneous-pool size for ``auto`` to pick the grouped-family
+#: vector kernel.  The labelled fixpoint pays a few argsort rounds per pool
+#: turnover plus per-query service gathers by family label, so its
+#: crossover against the heap sits higher than the homogeneous kernel's
+#: (measured on the recording host: ~1.1x at 64 instances under deep
+#: saturation, 1.5-2x from 96; see ``BENCH_hetero_kernel.json``).
+_VECTOR_HETERO_MIN_POOL = 64
+
 
 class DispatchCounters:
     """Thread-safe run counters for the dispatch substrates.
 
-    ``linear``/``heap``/``vector`` count simulations actually *dispatched*
-    by each path (result-memo hits never dispatch, so they do not count);
-    ``vector_fallback`` counts simulations that asked for the vector path
-    but fell back — a heterogeneous pool under ``dispatch="vector"``, or
-    the (ulp-rare) boundary self-check failure of the single-instance
-    kernel — and is incremented *in addition to* the path that served them.
+    ``linear``/``heap``/``vector``/``vector_hetero`` count simulations
+    actually *dispatched* by each path (result-memo hits never dispatch, so
+    they do not count); ``vector_hetero`` is a real engagement of the
+    grouped-family kernel on a heterogeneous pool, distinct from any
+    fallback.  ``vector_fallback`` counts simulations that asked for (or
+    were shaped for) the vector substrate but were served by a scalar path
+    instead — incremented *in addition to* the path that served them, and
+    split by reason:
+
+    * ``vector_fallback_tie_screen`` — a kernel bailed out of the whole
+      trace after engaging (the single-instance boundary self-check, or a
+      heterogeneous input outside the kernel's domain); per-block tie
+      screens inside the kernels take exact scalar *steps* without
+      abandoning the run, so they do not count here.
+    * ``vector_fallback_crossover`` — ``auto`` saw a saturated,
+      kernel-shaped pool with enough queries but below the measured
+      engagement floor (``_VECTOR_MIN_POOL`` / ``_VECTOR_HETERO_MIN_POOL``)
+      and kept it on a scalar path.
+    * ``vector_fallback_hetero`` — the pre-hetero-kernel reason (a
+      heterogeneous pool under ``dispatch="vector"`` had no kernel to run).
+      Closed since the grouped-family kernel landed: it stays 0 and is kept
+      so long-lived telemetry streams keep a stable schema.
+
+    The aggregate ``vector_fallback`` equals the sum of the reasons.
     """
 
     __slots__ = ("_lock", "_counts")
 
-    PATHS = ("linear", "heap", "vector", "vector_fallback")
+    PATHS = (
+        "linear",
+        "heap",
+        "vector",
+        "vector_hetero",
+        "vector_fallback",
+        "vector_fallback_hetero",
+        "vector_fallback_crossover",
+        "vector_fallback_tie_screen",
+    )
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -182,11 +223,12 @@ class InferenceServingSimulator:
         ``"auto"`` (default) picks a substrate per simulation from the
         pool shape and offered load; ``"linear"`` / ``"heap"`` /
         ``"vector"`` force one path (the equivalence test suite exercises
-        all of them on equal inputs).  A forced ``"vector"`` on a
-        heterogeneous pool falls back to the heap path — the kernels need
-        the single shared service row of a one-family pool.  The dispatch
-        path is deliberately *not* part of the result-memo key: all paths
-        are bit-identical by contract.
+        all of them on equal inputs).  A forced ``"vector"`` engages a
+        kernel for every pool shape: the shared-row kernels on
+        single-instance and homogeneous pools, the grouped-family kernel
+        on heterogeneous ones.  The dispatch path is deliberately *not*
+        part of the result-memo key: all paths are bit-identical by
+        contract.
     dispatch_counters:
         Engagement-counter sink for this simulator (also mirrored into the
         process-wide :func:`global_dispatch_counters`).  Evaluators and
@@ -236,7 +278,7 @@ class InferenceServingSimulator:
         # vectors, and np.repeat + tolist is measurable per evaluation.
         self._expand_cache: dict[
             tuple[tuple[str, ...], tuple[int, ...]],
-            tuple[list[int], tuple[str, ...]],
+            tuple[list[int], tuple[str, ...], np.ndarray],
         ] = {}
 
     @property
@@ -279,6 +321,11 @@ class InferenceServingSimulator:
         self._counters.record(path)
         if self._counters is not _GLOBAL_DISPATCH:
             _GLOBAL_DISPATCH.record(path)
+
+    def _record_fallback(self, reason: str) -> None:
+        """Count a vector disengagement: the aggregate plus its reason."""
+        self._record_dispatch("vector_fallback")
+        self._record_dispatch("vector_fallback_" + reason)
 
     def merge_dispatch(self, counts: dict[str, int]) -> None:
         """Aggregate a dispatch-count delta produced elsewhere.
@@ -367,13 +414,17 @@ class InferenceServingSimulator:
         expanded = self._expand_cache.get(expand_key)
         if expanded is None:
             type_of_instance, families = pool.expand()
+            type_of_instance = np.ascontiguousarray(
+                type_of_instance, dtype=np.int64
+            )
             expanded = (
                 type_of_instance.tolist(),
                 tuple(families[i] for i in type_of_instance.tolist()),
+                type_of_instance,
             )
             if len(self._expand_cache) < 4096:
                 self._expand_cache[expand_key] = expanded
-        type_list, instance_family = expanded
+        type_list, instance_family, type_of_instance = expanded
         families = pool.families
         n_instances = len(type_list)
         cache = self._service_cache
@@ -388,13 +439,11 @@ class InferenceServingSimulator:
         elif self._dispatch == "heap":
             path = "heap"
         elif self._dispatch == "vector":
-            if n_instances == 1 or homogeneous:
-                path = "vector"
-            else:
-                # Heterogeneous pools have per-instance service rows; the
-                # busy-period kernels cannot engage (documented fallback).
-                self._record_dispatch("vector_fallback")
-                path = "heap"
+            # Forced vector always engages a kernel: homogeneous shapes run
+            # the shared-row kernels, heterogeneous pools the grouped-family
+            # fixpoint (its service gathers come straight from the cached
+            # matrix, so no shared row is needed).
+            path = "vector" if n_instances == 1 or homogeneous else "vector_hetero"
         elif n_instances == 1 or n == 0:
             path = (
                 "vector"
@@ -406,11 +455,11 @@ class InferenceServingSimulator:
             # mean service time per query (pool-mix average).  With caching
             # disabled, derive the means from list rows materialized once
             # and reused by the scalar run below — which is also why the
-            # homogeneous vector branch requires an enabled cache: picking
-            # it here would throw those rows away and regenerate the
-            # matrix a second time.  (The single-instance branch above has
-            # no such guard: it needs no means, so its matrix() call does
-            # exactly one generation either way.)
+            # vector branches require an enabled cache: picking one here
+            # would throw those rows away and regenerate the matrix a
+            # second time.  (The single-instance branch above has no such
+            # guard: it needs no means, so its matrix() call does exactly
+            # one generation either way.)
             duration = trace.duration_s
             if cache.maxsize > 0:
                 means = cache.row_means(self._model, trace, families)
@@ -424,29 +473,44 @@ class InferenceServingSimulator:
                 if duration > 0.0
                 else np.inf
             )
-            if (
-                homogeneous
-                and cache.maxsize > 0
-                and n_instances >= _VECTOR_MIN_POOL
+            kernel_ready = (
+                cache.maxsize > 0
                 and n >= _VECTOR_MIN_QUERIES
                 and offered >= _VECTOR_MIN_OCCUPANCY * n_instances
-            ):
-                path = "vector"
-            elif offered >= _HEAP_MIN_OCCUPANCY * n_instances:
-                path = "heap"
+            )
+            pool_floor = (
+                _VECTOR_MIN_POOL if homogeneous else _VECTOR_HETERO_MIN_POOL
+            )
+            if kernel_ready and n_instances >= pool_floor:
+                path = "vector" if homogeneous else "vector_hetero"
             else:
-                path = "linear"
+                if kernel_ready:
+                    # Saturated, enough queries, kernel-shaped — only the
+                    # measured size crossover kept the kernel out.
+                    self._record_fallback("crossover")
+                path = (
+                    "heap"
+                    if offered >= _HEAP_MIN_OCCUPANCY * n_instances
+                    else "linear"
+                )
 
         result = None
-        if path == "vector":
+        if path == "vector" or path == "vector_hetero":
             result = self._run_vector(
-                trace, families, type_list, instance_family, n_instances
+                trace,
+                families,
+                type_list,
+                type_of_instance,
+                instance_family,
+                n_instances,
+                hetero=path == "vector_hetero",
             )
             if result is None:
-                # Ulp-rare single-instance boundary self-check failure:
-                # rerun on the scalar substrate the policy would otherwise
-                # pick for this shape.
-                self._record_dispatch("vector_fallback")
+                # A kernel abandoned the trace (the ulp-rare
+                # single-instance boundary self-check, or a heterogeneous
+                # input outside the kernel's domain): rerun on the scalar
+                # substrate the policy would otherwise pick for this shape.
+                self._record_fallback("tie_screen")
                 path = "linear" if n_instances == 1 else "heap"
         if result is None:
             if service_rows is None:
@@ -495,21 +559,45 @@ class InferenceServingSimulator:
         trace: QueryTrace,
         families: tuple[str, ...],
         type_list: list[int],
+        type_of_instance: np.ndarray,
         instance_family: tuple[str, ...],
         n_instances: int,
+        *,
+        hetero: bool = False,
     ) -> SimulationResult | None:
         """Serve via the NumPy busy-period kernels, or None on fallback.
 
         The kernels are fed straight from the cached service-time matrix
-        row and the trace's arrival ndarray — no list round-trips — and
-        their output arrays back the :class:`SimulationResult` directly.
+        and the trace's arrival ndarray — no list round-trips — and their
+        output arrays back the :class:`SimulationResult` directly.  With
+        ``hetero=True`` the grouped-family kernel runs on the full matrix
+        and gathers each query's service by its *chosen* family; otherwise
+        the single shared row feeds the homogeneous kernels.
         """
         cache = self._service_cache
         matrix = cache.matrix(self._model, trace, families)
-        row = matrix[type_list[0]]  # single family: one shared row
         arrivals = trace.arrival_s
         n = arrivals.shape[0]
         track = self._track_queue
+        if hetero:
+            out = heterogeneous_pool(arrivals, matrix, type_of_instance, track)
+            if out is None:
+                return None
+            starts, chosen, service_s, busy, queue_len, makespan = out
+            wait_s = starts - arrivals
+            # service_s is a fresh per-query gather (not a matrix view), so
+            # memoizing the result does not pin the multi-family matrix.
+            return SimulationResult(
+                latency_s=wait_s + service_s,
+                wait_s=wait_s,
+                service_s=service_s,
+                instance_index=chosen,
+                instance_family=instance_family,
+                busy_s_per_instance=busy,
+                makespan_s=makespan,
+                queue_len_at_arrival=queue_len if track else np.empty(0),
+            )
+        row = matrix[type_list[0]]  # single family: one shared row
         if n_instances == 1:
             out = lindley_single(arrivals, row, track)
             if out is None:

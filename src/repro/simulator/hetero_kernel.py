@@ -1,0 +1,360 @@
+"""Exact grouped-family kernel: ``dispatch="vector"`` for heterogeneous pools.
+
+:mod:`repro.simulator.vector_kernel` closed the single-instance and
+homogeneous-pool shapes, but heterogeneous pools — the paper's whole point,
+and the configurations every search actually sweeps — stayed on the scalar
+heap loop (~0.6 us/query floor): with several instance families there is no
+single shared service row, so neither established kernel could engage.
+
+This module takes the route the roadmap named: a *grouped-homogeneous
+decomposition*.  Partition the pool into its homogeneous family blocks.
+Within one block every instance is identical, so the block's internal
+process is exactly the pop-multiset busy-period recursion
+:func:`~repro.simulator.vector_kernel.homogeneous_pool` solves; what makes
+the pool heterogeneous is only the *merge* — which family block serves each
+query.  Under the engine's dispatch policy the merge depends on nothing but
+each block's clock multiset:
+
+* some instance free at the arrival => the first family block (in pool
+  order) holding a free instance serves, on its lowest-index free instance
+  — pool order makes family blocks contiguous in global index order, so
+  this is exactly "lowest global instance index among free instances";
+* no instance free => the block holding the globally earliest-free clock
+  serves, ties again resolving to the earliest block / lowest global index.
+
+Inside a saturated stretch the merged recursion is therefore a *labelled*
+pop-multiset fixpoint: each query pops the global minimum of the union of
+the per-family remaining-clock multisets, and pushes back
+``pop + service[family_of_popped_clock][query]``.  The kernel solves it one
+pool turnover at a time: a window of ``m`` queries is iterated on the
+``(pop value, family label)`` pair — seeded from the exact remaining
+labelled clock multiset, each round one per-query service *gather* by
+current label, one vectorized add, and one argsort of the ``2m`` labelled
+candidates.  Per family block the accepted pop sub-stream is exactly that
+block's homogeneous fixpoint on the queries the merge hands it, and the
+windows converge in a small constant number of rounds per pool turnover —
+which is what makes the kernel beat the heap's per-query floor once the
+pool is large enough (see ``BENCH_hetero_kernel.json`` for the measured
+crossover).
+
+Bit-identity is *self-certified*, never assumed — the same contract as
+``lindley_single``'s boundary validation:
+
+* every accepted value is a copy of a clock/finish float, and every finish
+  is the scalar loop's single ``start + service`` add — no re-association;
+* a converged block is re-validated against the *global* labelled candidate
+  multiset: its sorted prefix must reproduce the pop values **and** their
+  family labels;
+* strict tie screens drop ambiguity to exact scalar steps that mirror the
+  engine's policy verbatim: any tie among the used candidates (the only
+  regime where pop identity — hence chosen instance, busy seconds and all
+  *later* service times — depends on instance indices), any query that
+  finds a free instance mid-block, any non-converged window;
+* instance identities are recovered by argsort chain resolution, then
+  cross-checked against the fixpoint's family labels — a mismatch rejects
+  the block.
+
+A tie-free certified fixpoint *is* the unique greedy dispatch (induction
+over pops: every push strictly exceeds its own pop, so the j-th pop is the
+j-th smallest of the initial clocks plus the pushes of slots before j —
+exactly what the scalar loop computes), which is why validation passing
+proves bit-identity rather than merely suggesting it.  Uniqueness is also
+why the kernel's argsorts need no stability guarantee: on tie-free
+candidates every sort produces the same permutation, and candidates that
+are *not* tie-free never survive the screens — so the fixpoint and
+certification sorts use NumPy's default (fastest) kind, and only the
+initial clock sort keeps ``kind="stable"`` so equal clocks stay in
+lowest-instance-first order while the screens decide whether to bail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.vector_kernel import _queue_lengths
+
+__all__ = ["heterogeneous_pool"]
+
+#: Queries per identity/screen super-block, as a multiple of the pool size
+#: (same amortization argument as the homogeneous kernel: fixed per-block
+#: costs — the global labelled certification, chain resolution, screens —
+#: spread over the block while pop values converge in cheap windows).
+_BLOCK_FACTOR = 16
+#: Extra fixpoint rounds past the window width before declaring
+#: non-convergence: the label assignment may need a few rounds beyond the
+#: value recursion's generation depth to settle.
+_EXTRA_ROUNDS = 6
+
+
+def heterogeneous_pool(
+    arrivals: np.ndarray,
+    matrix: np.ndarray,
+    type_of_instance: np.ndarray,
+    track_queue: bool,
+):
+    """Heterogeneous FCFS pool, bit-identical to the heap dispatcher.
+
+    Parameters
+    ----------
+    arrivals:
+        Sorted arrival times, shape ``(n,)``.
+    matrix:
+        Per-``(family, query)`` service times, shape ``(n_families, n)`` —
+        the cached :meth:`~repro.simulator.service.ServiceTimeCache.matrix`.
+        Unlike the homogeneous kernels, which consume one shared row, this
+        kernel gathers per-query services by the *chosen* family.
+    type_of_instance:
+        Family (matrix-row) index per instance in global dispatch order,
+        shape ``(m,)`` — family blocks contiguous, as
+        :meth:`~repro.simulator.pool.PoolConfiguration.expand` lays out.
+    track_queue:
+        Also compute queue lengths at arrival.
+
+    Returns
+    -------
+    ``(starts, chosen, service_s, busy, queue_len, makespan)``; ``None``
+    only for inputs outside the kernel's domain (a negative first arrival
+    — the scalar loops' idle clocks start at 0.0 and would dispatch
+    differently), in which case the caller must run a scalar path.
+    """
+    fam = np.ascontiguousarray(type_of_instance, dtype=np.int64)
+    m = fam.shape[0]
+    n = arrivals.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=float)
+        return (
+            empty,
+            np.empty(0, dtype=np.int64),
+            empty,
+            np.zeros(m, dtype=float),
+            np.empty(0, dtype=np.int64),
+            0.0,
+        )
+    if not arrivals[0] >= 0.0:
+        return None
+
+    starts = np.empty(n, dtype=float)
+    chosen = np.empty(n, dtype=np.int64)
+    free_at = np.zeros(m, dtype=float)
+    block = max(_BLOCK_FACTOR * m, 64)
+    q = 0
+    while q < n:
+        t = arrivals[q]
+        if free_at.min() <= t:
+            if free_at.max() <= t:
+                q += _fresh_fill(arrivals, matrix, fam, free_at, starts, chosen, q)
+                continue
+            # Partially free pool: one exact scalar step with the engine's
+            # policy (first free instance in global index order).
+            i = int(np.argmax(free_at <= t))
+            s = float(matrix[fam[i], q])
+            free_at[i] = t + s
+            starts[q] = t
+            chosen[q] = i
+            q += 1
+            continue
+        accepted = _saturated_block(
+            arrivals, matrix, fam, free_at, starts, chosen, q, min(block, n - q)
+        )
+        if accepted:
+            q += accepted
+            continue
+        # Tie or non-convergence: earliest-free instance, lowest index.
+        i = int(np.argmin(free_at))
+        start = float(free_at[i])
+        s = float(matrix[fam[i], q])
+        free_at[i] = start + s
+        starts[q] = start
+        chosen[q] = i
+        q += 1
+
+    # Per-query service gathered by the chosen instance's family: the same
+    # float64 values the scalar loops read out of their row lists.
+    service_s = matrix[fam[chosen], np.arange(n)]
+    busy = np.bincount(chosen, weights=service_s, minlength=m)
+    queue_len = (
+        _queue_lengths(starts, arrivals)
+        if track_queue
+        else np.empty(0, dtype=np.int64)
+    )
+    return starts, chosen, service_s, busy, queue_len, float(free_at.max())
+
+
+def _fresh_fill(
+    arrivals: np.ndarray,
+    matrix: np.ndarray,
+    fam: np.ndarray,
+    free_at: np.ndarray,
+    starts: np.ndarray,
+    chosen: np.ndarray,
+    q: int,
+) -> int:
+    """Vectorized all-free burst: instances are taken in global index order.
+
+    Precondition: every instance is free at ``arrivals[q]``.  Query
+    ``q + j`` then lands on instance ``j`` exactly while instances
+    ``0..j-1`` all remain busy at its arrival — the running minimum of the
+    burst's per-instance finish times stays strictly above it.  The only
+    difference from the homogeneous burst is that instance ``j``'s service
+    is gathered from its own family's matrix row.  Ties end the burst
+    conservatively (the engine would see a freed instance).  Always accepts
+    at least query ``q`` on instance 0.
+    """
+    n = arrivals.shape[0]
+    k = min(fam.shape[0], n - q)
+    a_burst = arrivals[q : q + k]
+    finishes = a_burst + matrix[fam[:k], np.arange(q, q + k)]
+    ok = np.empty(k, dtype=bool)
+    ok[0] = True
+    if k > 1:
+        ok[1:] = np.minimum.accumulate(finishes)[:-1] > a_burst[1:]
+    run = int(np.argmin(ok)) if not ok.all() else k
+    starts[q : q + run] = a_burst[:run]
+    chosen[q : q + run] = np.arange(run)
+    free_at[:run] = finishes[:run]
+    return run
+
+
+def _saturated_block(
+    arrivals: np.ndarray,
+    matrix: np.ndarray,
+    fam: np.ndarray,
+    free_at: np.ndarray,
+    starts: np.ndarray,
+    chosen: np.ndarray,
+    q: int,
+    k: int,
+) -> int:
+    """Solve one saturated block of ``k`` queries starting at ``q``.
+
+    Writes the accepted prefix into ``starts``/``chosen``, updates
+    ``free_at`` in place, and returns how many queries were accepted
+    (0 = caller must take a scalar step).
+    """
+    m = free_at.shape[0]
+    order = free_at.argsort(kind="stable")  # (clock, index) ascending
+    clocks = free_at[order]  # per-family multisets, merged sorted
+    clock_fam = fam[order]  # family block owning each sorted clock
+    a_blk = arrivals[q : q + k]
+
+    # Labelled pop fixpoint, one pool turnover at a time: the pops of a
+    # window of m queries are the first m of the sorted labelled multiset
+    # avail U (pops + service[label]) — iterated directly from the exact
+    # remaining labelled clock multiset (no padding: window width == pool
+    # size).  Each converged window hands the next one the exact remaining
+    # (value, label) multiset; family sub-streams of the solution are their
+    # blocks' homogeneous fixpoints on the queries the merge assigns them.
+    # Convergence is checked on values only: a value-converged window with
+    # unsettled labels is possible only under candidate ties, which the
+    # screens below reject before anything ambiguous is used.
+    pops = np.empty(k, dtype=float)
+    alphas = np.empty(k, dtype=np.int64)  # family label per pop
+    finishes = np.empty(k, dtype=float)
+    cand_vals = np.empty(2 * m, dtype=float)  # reused candidate scratch
+    cand_fams = np.empty(2 * m, dtype=np.int64)
+    s_base = np.arange(q, q + k)
+    avail = clocks
+    avail_fam = clock_fam
+    p = 0
+    while p < k:
+        w = min(m, k - p)
+        s_idx = s_base[p : p + w]
+        # Safe aliasing: the rounds never write into cur/avail in place —
+        # pushes land in the scratch tail and `cur` is rebound to a fresh
+        # gather each round.
+        cur = avail[:w]
+        cur_fam = avail_fam[:w]
+        cv = cand_vals[: m + w]
+        cf = cand_fams[: m + w]
+        cv[:m] = avail
+        cf[:m] = avail_fam
+        converged = False
+        for _ in range(w + _EXTRA_ROUNDS):
+            # The scalar loop's single start+s add, with s gathered by the
+            # slot's current family label.
+            np.add(cur, matrix[cur_fam, s_idx], out=cv[m:])
+            cf[m:] = cur_fam
+            perm = cv.argsort()
+            pw = perm[:w]
+            new = cv[pw]
+            if (new == cur).all():
+                converged = True
+                break
+            cur = new
+            cur_fam = cf[pw]
+        if not converged:
+            return 0
+        pops[p : p + w] = cur
+        alphas[p : p + w] = cur_fam
+        finishes[p : p + w] = cv[m:]
+        avail = cv[perm[w:]]
+        avail_fam = cf[perm[w:]]
+        p += w
+
+    # Certify the assembled block against the *global* labelled candidate
+    # multiset (initial clocks U all finishes): its sorted prefix must
+    # reproduce the pop values AND their family labels — re-validating the
+    # window decomposition — and feed the acceptance screens.
+    all_vals = np.concatenate([clocks, finishes])
+    all_fams = np.concatenate([clock_fam, alphas])
+    perm = all_vals.argsort()
+    sorted_vals = all_vals[perm]
+    if not (sorted_vals[:k] == pops).all():
+        return 0
+    if not (all_fams[perm[:k]] == alphas).all():
+        return 0
+
+    # Accepted prefix: every slot must strictly wait, and the candidates
+    # feeding it must be tie-free — a tie is the only regime where the pop
+    # *identity* (hence chosen instance, busy seconds, and every later
+    # gathered service) depends on instance indices.
+    ok = a_blk < pops
+    ok &= sorted_vals[1 : k + 1] != sorted_vals[:k]
+    accept = int(np.argmin(ok)) if not ok.all() else k
+    if accept == 0:
+        return 0
+    if accept < k:
+        # Drop the rejected finishes from the candidate multiset.  Removing
+        # elements from a sorted sequence keeps the survivors sorted, so a
+        # mask compress replaces the re-sort; then re-screen the entire
+        # used range (accepted pops plus the m leftover clocks).
+        keep = perm < m + accept
+        perm = perm[keep]
+        sorted_vals = all_vals[perm]
+        upto = accept + m
+        if (sorted_vals[1:upto] == sorted_vals[: upto - 1]).any():
+            return 0
+        if not (sorted_vals[:accept] == pops[:accept]).all():
+            return 0
+        if not (all_fams[perm[:accept]] == alphas[:accept]).all():
+            return 0
+
+    # Identity resolution: walk the final sorted candidates.  Sorted
+    # position p holds candidate src[p]; candidates < m are the sorted
+    # clocks (instance order[c] — originals keep their owners), candidates
+    # >= m are finishes (the instance of the slot that pushed them).
+    # Sorted position j < accept is exactly slot j (certified above), and
+    # every reference points to a strictly lower position (push > own pop,
+    # ties screened), so pointer-doubling gather passes resolve the chains
+    # in O(log depth).
+    src = perm[: accept + m]
+    serv = np.where(src < m, order[np.minimum(src, m - 1)], -1)
+    hop = np.where(src < m, np.arange(accept + m), src - m)
+    while True:
+        pending = serv < 0
+        if not pending.any():
+            break
+        serv = np.where(pending, serv[hop], serv)
+        hop = hop[hop]
+
+    # The resolved instance of every pop must belong to the family the
+    # fixpoint's label assigned — the labels fed the service gathers, so a
+    # mismatch would mean the block used another family's service times.
+    if not (fam[serv[:accept]] == alphas[:accept]).all():
+        return 0
+
+    starts[q : q + accept] = pops[:accept]
+    chosen[q : q + accept] = serv[:accept]
+    # The m untaken candidates are the instances' clocks after the block.
+    free_at[serv[accept:]] = all_vals[src[accept:]]
+    return accept

@@ -59,9 +59,11 @@ vectorized ``searchsorted``.  Per-instance busy seconds come from
 ``busy[i] += s`` order) and the single-instance busy total from ``C[-1]``
 (the same left-to-right sum the scalar loop accumulates).
 
-Heterogeneous pools have per-instance service rows and no shared busy-period
-structure; the engine falls back to the heap path for them (see the
-dispatch-policy notes in :mod:`repro.simulator.engine`).
+Heterogeneous pools have per-instance service rows and no single shared
+service row; :mod:`repro.simulator.hetero_kernel` covers them with a
+grouped-family *labelled* variant of the pop-multiset fixpoint, reusing this
+module's machinery (see the dispatch-policy notes in
+:mod:`repro.simulator.engine`).
 """
 
 from __future__ import annotations

@@ -97,8 +97,8 @@ def test_three_type_pool_equivalence():
 def assert_dispatch_modes_match_reference(model, trace, pool):
     """Every forced dispatch path must equal the event-heap reference
     bit-for-bit (``vector`` serves single-instance/homogeneous pools with
-    the NumPy kernels and falls back to the heap on heterogeneous ones —
-    either way the output contract is identical)."""
+    the shared-row NumPy kernels and heterogeneous pools with the
+    grouped-family fixpoint kernel — every substrate, one contract)."""
     ref = EventHeapSimulator(model).simulate(trace, pool)
     for mode in ("linear", "heap", "vector"):
         sim = fast_sim(model, track_queue=True, dispatch=mode)
@@ -169,6 +169,27 @@ def test_heap_dispatch_heavy_saturation(seed):
     assert_dispatch_modes_match_reference(
         model, trace, PoolConfiguration(("g4dn", "t3"), (2, 1))
     )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_vector_hetero_matches_event_reference(seed):
+    """The grouped-family kernel against the *event-driven* reference —
+    not just the heap — with the counters proving it actually ran."""
+    model = make_toy_model(noise={"g4dn": 0.1, "c5": 0.15, "t3": 0.2})
+    trace = random_trace(seed, 300)
+    pool = PoolConfiguration(("g4dn", "c5", "t3"), (5, 4, 3))
+    ref = EventHeapSimulator(model).simulate(trace, pool)
+    sim = fast_sim(model, track_queue=True, dispatch="vector")
+    res = sim.simulate(trace, pool)
+    counts = sim.dispatch_counts
+    assert counts["vector_hetero"] == 1 and counts["vector_fallback"] == 0
+    np.testing.assert_array_equal(res.latency_s, ref.latency_s)
+    np.testing.assert_array_equal(res.instance_index, ref.instance_index)
+    np.testing.assert_array_equal(
+        res.queue_len_at_arrival, ref.queue_len_at_arrival
+    )
+    assert res.makespan_s == ref.makespan_s
 
 
 def test_auto_dispatch_equals_forced_paths(toy_model, toy_trace):

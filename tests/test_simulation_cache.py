@@ -373,6 +373,13 @@ class TestRunManyUnderTheMemo:
             assert {"hits", "misses", "evictions", "size", "maxsize"} <= set(
                 stats[name]
             )
-        assert {"linear", "heap", "vector", "vector_fallback"} == set(
-            stats["dispatch"]
-        )
+        assert {
+            "linear",
+            "heap",
+            "vector",
+            "vector_hetero",
+            "vector_fallback",
+            "vector_fallback_hetero",
+            "vector_fallback_crossover",
+            "vector_fallback_tie_screen",
+        } == set(stats["dispatch"])

@@ -12,8 +12,9 @@ instance homogeneous pools), and prove that a full search under
 against the recorded bench sequences — as the scalar substrates.
 
 Engagement is tested too: the dispatch counters must show the vector
-kernel actually ran where the policy promises it, and the documented
-heterogeneous-pool fallback must be visible as ``vector_fallback``.
+kernels actually ran where the policy promises them — including the
+grouped-family heterogeneous kernel (``vector_hetero``) — and every
+disengagement must be visible as ``vector_fallback`` plus its reason.
 """
 
 import json
@@ -199,6 +200,100 @@ def test_vector_kernels_reject_nothing_silently():
     assert makespan == 0.0 and np.all(busy == 0.0)
 
 
+# -- heterogeneous pools: the grouped-family kernel ----------------------------
+
+
+def bursty_trace(seed: int, n: int, rate: float) -> QueryTrace:
+    """Adversarial arrival law: dense clumps of exact arrival ties
+    separated by long silences — the regime that stresses saturated-block
+    truncation and the fresh-start burst fill at once."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    gaps[rng.random(n) < 0.4] = 0.0  # exact ties inside a clump
+    gaps[rng.random(n) < 0.08] *= 50.0  # silences between clumps
+    arrivals = np.cumsum(gaps)
+    batches = np.clip(
+        np.rint(rng.lognormal(np.log(30.0), 0.8, size=n)), 1, 256
+    ).astype(np.int64)
+    return QueryTrace(arrivals, batches, rate_qps=rate, seed=seed)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    c1=st.integers(1, 8),
+    c2=st.integers(1, 8),
+    c3=st.integers(0, 8),
+    rate=st.floats(5.0, 3000.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_vector_heterogeneous_random_pools(seed, c1, c2, c3, rate):
+    """Mixed 2-3 family pools across the load range: the grouped-family
+    kernel must match the heap bit for bit."""
+    model = make_toy_model(noise={"g4dn": 0.1, "t3": 0.2, "c5": 0.15})
+    trace = rate_trace(seed, 300, rate)
+    families, counts = ("g4dn", "t3"), (c1, c2)
+    if c3:
+        families, counts = ("g4dn", "t3", "c5"), (c1, c2, c3)
+    assert_vector_matches_scalar(
+        model, trace, PoolConfiguration(families, counts)
+    )
+
+
+def test_vector_hetero_arrival_ties_across_families():
+    """Tied arrivals landing on instances of different families: label
+    choices matter for every service time, and the certification must
+    still resolve them exactly."""
+    model = make_toy_model()
+    for pool in (
+        PoolConfiguration(("g4dn", "t3"), (2, 2)),
+        PoolConfiguration(("g4dn", "t3", "c5"), (3, 2, 3)),
+    ):
+        assert_vector_matches_scalar(model, _tied_trace(), pool)
+
+
+def test_vector_hetero_equal_service_times():
+    """Identical latency profiles in every family: finish times tie
+    across family boundaries constantly, so the grouped-family kernel's
+    screens must reject ambiguous blocks and take exact scalar steps
+    rather than guess a label."""
+    import dataclasses
+
+    model = make_toy_model()
+    same = {f: LatencyProfile(1.0, 0.1) for f in model.profiles}
+    model = dataclasses.replace(model, profiles=same)
+    trace = rate_trace(9, 200, 800.0)
+    assert_vector_matches_scalar(
+        model, trace, PoolConfiguration(("g4dn", "t3", "c5"), (2, 2, 2))
+    )
+
+
+def test_vector_hetero_zero_service_times():
+    """One zero-latency family inside a mixed pool: every pop of a 't3'
+    instance ties its own start."""
+    import dataclasses
+
+    model = make_toy_model()
+    zero = dict(model.profiles)
+    zero["t3"] = LatencyProfile(0.0, 0.0)
+    model = dataclasses.replace(model, profiles=zero)
+    trace = rate_trace(3, 150, 500.0)
+    assert_vector_matches_scalar(
+        model, trace, PoolConfiguration(("g4dn", "t3"), (2, 3))
+    )
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_vector_bursty_clumped_arrivals(seed):
+    model = make_toy_model(noise={"g4dn": 0.1, "t3": 0.2, "c5": 0.15})
+    trace = bursty_trace(seed, 300, 600.0)
+    for pool in (
+        PoolConfiguration.homogeneous("t3", 6),
+        PoolConfiguration(("g4dn", "t3", "c5"), (2, 3, 2)),
+    ):
+        assert_vector_matches_scalar(model, trace, pool)
+
+
 # -- engagement counters -------------------------------------------------------
 
 
@@ -212,14 +307,22 @@ def test_forced_vector_engages_on_eligible_pools(toy_model):
     assert counts["vector_fallback"] == 0
 
 
-def test_forced_vector_falls_back_on_heterogeneous_pools(toy_model):
+def test_forced_vector_engages_hetero_kernel(toy_model):
+    """Forced vector on a mixed-family pool runs the grouped-family
+    kernel — no heap fallback — and stays bit-identical to the heap."""
     trace = make_toy_trace(toy_model, n=300)
+    pool = PoolConfiguration(("g4dn", "t3"), (2, 2))
     s = sim(toy_model, "vector")
-    s.simulate(trace, PoolConfiguration(("g4dn", "t3"), (2, 2)))
+    vec = s.simulate(trace, pool)
     counts = s.dispatch_counts
-    assert counts["heap"] == 1
+    assert counts["vector_hetero"] == 1
+    assert counts["heap"] == 0
     assert counts["vector"] == 0
-    assert counts["vector_fallback"] == 1
+    assert counts["vector_fallback"] == 0
+    ref = sim(toy_model, "heap").simulate(trace, pool)
+    assert_identical(vec, ref, str(pool))
+    # The legacy heterogeneous-pool fallback reason is closed for good.
+    assert counts["vector_fallback_hetero"] == 0
 
 
 def test_auto_picks_vector_for_single_instance(toy_model):
@@ -293,7 +396,11 @@ def test_runner_reports_dispatch_engagement():
         "linear",
         "heap",
         "vector",
+        "vector_hetero",
         "vector_fallback",
+        "vector_fallback_hetero",
+        "vector_fallback_crossover",
+        "vector_fallback_tie_screen",
     }
     assert stats["dispatch"]["vector"] > 0
     assert stats["dispatch"]["vector_fallback"] == 0
@@ -350,7 +457,12 @@ def test_bench_golden_sequence_under_vector_dispatch(seed):
     assert res.best is not None
     assert list(res.best.pool.counts) == expected["best"]
     assert [list(r.pool.counts) for r in res.history] == expected["sequence"]
-    # Heterogeneous samples served by the documented heap fallback, any
-    # single-family samples by the kernel — all of it dispatched.
+    # Heterogeneous samples served by the grouped-family kernel, any
+    # single-family samples by the homogeneous kernel — all of it
+    # dispatched, none of it left to the scalar engines.
     counts = evaluator.simulator.dispatch_counts
-    assert counts["heap"] + counts["vector"] == evaluator.n_evaluations
+    assert (
+        counts["vector"] + counts["vector_hetero"] + counts["heap"]
+        == evaluator.n_evaluations
+    )
+    assert counts["vector_hetero"] > 0
